@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction binaries: command
+ * line handling, the shared result cache, and simple table/bar
+ * rendering.
+ *
+ * Common flags across all benches:
+ *   --threads N   core/thread count (default 64, the paper's setup)
+ *   --iters N     critical sections per thread (default 4)
+ *   --seed N      experiment seed (default 1)
+ *   --quick       shorthand for --threads 16 (fast smoke runs)
+ *   --fresh       ignore the result cache for this invocation
+ */
+
+#ifndef OCOR_BENCH_BENCH_UTIL_HH
+#define OCOR_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/result_cache.hh"
+
+namespace ocor::bench
+{
+
+/** Parsed common options. */
+struct Options
+{
+    unsigned threads = 64;
+    unsigned iterations = 4;
+    std::uint64_t seed = 1;
+    bool fresh = false;
+
+    ExperimentConfig
+    experiment() const
+    {
+        ExperimentConfig exp;
+        exp.threads = threads;
+        exp.iterationsOverride = iterations;
+        exp.seed = seed;
+        return exp;
+    }
+};
+
+/** Parse the common flags; unknown flags abort with usage. */
+inline Options
+parseOptions(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             a.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (a == "--threads")
+            opt.threads = static_cast<unsigned>(std::atoi(next()));
+        else if (a == "--iters")
+            opt.iterations =
+                static_cast<unsigned>(std::atoi(next()));
+        else if (a == "--seed")
+            opt.seed = static_cast<std::uint64_t>(
+                std::strtoull(next(), nullptr, 10));
+        else if (a == "--quick")
+            opt.threads = 16;
+        else if (a == "--fresh")
+            opt.fresh = true;
+        else {
+            std::fprintf(stderr,
+                         "unknown flag %s\n"
+                         "usage: %s [--threads N] [--iters N] "
+                         "[--seed N] [--quick] [--fresh]\n",
+                         a.c_str(), argv[0]);
+            std::exit(1);
+        }
+    }
+    return opt;
+}
+
+/** The shared cache (per-working-directory TSV). */
+inline ResultCache
+cacheFor(const Options &opt)
+{
+    if (opt.fresh) {
+        // A throwaway file name so nothing is reused or polluted.
+        return ResultCache("/dev/null");
+    }
+    return ResultCache("ocor_results.tsv");
+}
+
+/** Horizontal ASCII bar scaled to @p width at @p full. */
+inline std::string
+bar(double value, double full, unsigned width = 40)
+{
+    if (full <= 0.0)
+        full = 1.0;
+    double frac = value / full;
+    if (frac < 0)
+        frac = 0;
+    if (frac > 1)
+        frac = 1;
+    unsigned n = static_cast<unsigned>(frac * width + 0.5);
+    std::string s(n, '#');
+    s.resize(width, ' ');
+    return s;
+}
+
+/** Section header shared by all benches. */
+inline void
+banner(const char *what)
+{
+    std::printf("=============================================="
+                "==============================\n");
+    std::printf("%s\n", what);
+    std::printf("OCOR reproduction (Yao & Lu, ISCA 2016)\n");
+    std::printf("=============================================="
+                "==============================\n");
+}
+
+} // namespace ocor::bench
+
+#endif // OCOR_BENCH_BENCH_UTIL_HH

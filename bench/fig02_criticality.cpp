@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 2: criticality of competition overhead.
+ *
+ * For every benchmark under the *original* queue spinlock, print the
+ * percentage of ROI time threads spend executing critical sections
+ * (CS) versus competing for them (COH). The paper's point: COH
+ * dwarfs CS itself.
+ */
+
+#include "bench_util.hh"
+#include "workload/benchmarks.hh"
+
+using namespace ocor;
+using namespace ocor::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseOptions(argc, argv);
+    banner("Figure 2: % of ROI finish time spent in CS vs COH "
+           "(original queue spinlock)");
+
+    ResultCache cache = cacheFor(opt);
+    ExperimentConfig exp = opt.experiment();
+
+    std::printf("%-8s %-8s  %6s  %6s  %s\n", "program", "suite",
+                "CS%", "COH%", "COH bar (0..60%)");
+    double cs_sum = 0, coh_sum = 0;
+    auto profiles = allProfiles();
+    for (const auto &p : profiles) {
+        RunMetrics m = cache.get(p, exp, false);
+        std::printf("%-8s %-8s  %5.1f%%  %5.1f%%  |%s|\n",
+                    p.name.c_str(), p.suite.c_str(), m.csPct(),
+                    m.cohPct(), bar(m.cohPct(), 60.0).c_str());
+        cs_sum += m.csPct();
+        coh_sum += m.cohPct();
+    }
+    std::printf("%-8s %-8s  %5.1f%%  %5.1f%%\n", "average", "",
+                cs_sum / profiles.size(), coh_sum / profiles.size());
+    std::printf("\nPaper's observation: COH is several times the CS "
+                "execution time itself.\n");
+    return 0;
+}

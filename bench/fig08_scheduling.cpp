@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Figure 8: priority-based vs round-robin packet scheduling at one
+ * router.
+ *
+ * Recreates the paper's example: locking requests R^a_1..R^a_3 from
+ * slow-progress threads, R^b_1..R^b_3 from fast-progress threads
+ * (subscript = RTR value), and a wake-up request W^b, all contending
+ * for the same output port. Prints the departure order under the
+ * baseline round-robin router and under OCOR's priority rules.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "noc/router.hh"
+
+using namespace ocor;
+
+namespace
+{
+
+struct NamedPacket
+{
+    std::string name;
+    PacketPtr pkt;
+};
+
+/** Drive one router with the Figure-8 traffic mix. */
+std::vector<std::string>
+departureOrder(bool ocor_on)
+{
+    MeshShape mesh{2, 1};
+    NocParams params;
+    OcorConfig ocor;
+    ocor.enabled = ocor_on;
+    OcorConfig stamping; // fields always stamped as the NI would
+    stamping.enabled = true;
+
+    Router router(0, mesh, params, ocor);
+    Link into_west, into_local, into_east, out_east, out_local;
+    router.attach(PortWest, &into_west, nullptr);
+    router.attach(PortLocal, &into_local, &out_local);
+    router.attach(PortEast, &into_east, &out_east);
+
+    // a = slow progress (PROG 0), b = fast progress (PROG 32).
+    std::vector<NamedPacket> named;
+    auto add = [&](const std::string &name, PriorityClass cls,
+                   unsigned rtr, std::uint64_t prog) {
+        auto pkt = makePacket(cls == PriorityClass::Wakeup
+                                  ? MsgType::FutexWake
+                                  : MsgType::LockTry,
+                              0, 1, 0x1000);
+        pkt->priority = makePriority(stamping, cls, rtr, prog);
+        named.push_back({name, pkt});
+    };
+    // Injected in a scrambled arrival order (as in the figure the
+    // requests reach router R interleaved); the schedulers decide
+    // the departure order.
+    add("R^b_3", PriorityClass::LockTry, 33, 32);
+    add("R^a_2", PriorityClass::LockTry, 17, 0);
+    add("W^b", PriorityClass::Wakeup, 1, 32);
+    add("R^b_1", PriorityClass::LockTry, 1, 32);
+    add("R^a_3", PriorityClass::LockTry, 33, 0);
+    add("R^a_1", PriorityClass::LockTry, 1, 0);
+    add("R^b_2", PriorityClass::LockTry, 17, 32);
+
+    // Inject alternating across two input ports (west/local), one
+    // flit per port per cycle, mimicking the figure's two VC
+    // columns: the requests pile up faster than the single east
+    // output can drain them, so the allocators must arbitrate.
+    Cycle c = 0;
+    for (std::size_t i = 0; i < named.size(); ++i) {
+        Flit f;
+        f.pkt = named[i].pkt;
+        f.type = FlitType::HeadTail;
+        f.vc = static_cast<unsigned>(i / 2 % params.numVcs);
+        (i % 2 == 0 ? into_west : into_local).sendFlit(f, c);
+        if (i % 2 == 1)
+            ++c;
+    }
+
+    std::vector<std::string> order;
+    for (Cycle t = 0; t <= 60 && order.size() < named.size(); ++t) {
+        router.tick(t);
+        while (auto f = out_east.takeFlit(t)) {
+            out_east.sendCredit(f->vc, t);
+            for (const auto &n : named)
+                if (n.pkt->id == f->pkt->id)
+                    order.push_back(n.name);
+        }
+    }
+    return order;
+}
+
+void
+printOrder(const char *label, const std::vector<std::string> &order)
+{
+    std::printf("%-34s", label);
+    for (const auto &n : order)
+        std::printf(" %s", n.c_str());
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    ocor::bench::banner("Figure 8: departure order, round-robin vs "
+                        "priority-based scheduling");
+    std::printf("\nPackets: R^p_r = locking request (progress p, "
+                "RTR r); W^b = wakeup request.\n"
+                "a = slow progress, b = fast progress; smaller r = "
+                "closer to sleeping.\n\n");
+    printOrder("baseline (round-robin):", departureOrder(false));
+    printOrder("OCOR (Table 1 rules):", departureOrder(true));
+    std::printf("\nExpected under OCOR: among simultaneously queued "
+                "requests, slow-progress (a) packets\nbeat "
+                "fast-progress (b) ones, smaller-RTR packets beat "
+                "larger-RTR ones, and the\nwakeup request W^b "
+                "departs strictly last (Wakeup Request Last). The "
+                "baseline\nround-robin order ignores all three "
+                "fields.\n");
+    return 0;
+}

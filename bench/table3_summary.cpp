@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Table 3: full result summary for the 64-thread case — COH
+ * improvement, ROI finish-time improvement and the CS-rate /
+ * network-utilization characterization for every benchmark, ordered
+ * by ROI improvement, with per-suite and overall averages.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "workload/benchmarks.hh"
+
+using namespace ocor;
+using namespace ocor::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseOptions(argc, argv);
+    banner("Table 3: result summary (COH improvement, ROI "
+           "improvement, characteristics)");
+
+    ResultCache cache = cacheFor(opt);
+    ExperimentConfig exp = opt.experiment();
+
+    std::vector<BenchmarkResult> results;
+    for (const auto &p : allProfiles())
+        results.push_back(cache.getComparison(p, exp));
+
+    std::sort(results.begin(), results.end(),
+              [](const BenchmarkResult &a, const BenchmarkResult &b) {
+                  return a.roiImprovementPct()
+                      < b.roiImprovementPct();
+              });
+
+    std::printf("\n%-8s %-8s %8s %10s %10s %10s\n", "program",
+                "suite", "CS rate", "net util", "COH impro",
+                "ROI impro");
+    double coh_p = 0, roi_p = 0, coh_o = 0, roi_o = 0;
+    unsigned np = 0, no = 0;
+    for (const auto &r : results) {
+        std::printf("%-8s %-8s %8s %10s %9.1f%% %9.1f%%\n",
+                    r.name.c_str(), r.suite.c_str(),
+                    r.highCsRate ? "high" : "low",
+                    r.highNetUtil ? "high" : "low",
+                    r.cohImprovementPct(), r.roiImprovementPct());
+        if (r.suite == "PARSEC") {
+            coh_p += r.cohImprovementPct();
+            roi_p += r.roiImprovementPct();
+            ++np;
+        } else {
+            coh_o += r.cohImprovementPct();
+            roi_o += r.roiImprovementPct();
+            ++no;
+        }
+    }
+    std::printf("\n%-17s COH %5.1f%%  ROI %5.1f%%   "
+                "(paper: 40.4%% / 13.7%%)\n", "PARSEC average",
+                coh_p / np, roi_p / np);
+    std::printf("%-17s COH %5.1f%%  ROI %5.1f%%   "
+                "(paper: 39.3%% / 15.1%%)\n", "OMP2012 average",
+                coh_o / no, roi_o / no);
+    std::printf("%-17s COH %5.1f%%  ROI %5.1f%%   "
+                "(paper: 39.9%% / 14.4%%)\n", "overall average",
+                (coh_p + coh_o) / (np + no),
+                (roi_p + roi_o) / (np + no));
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Example: build a custom contended workload by hand with the
+ * ProgramBuilder API and inspect per-thread behaviour.
+ *
+ * Sixteen threads on a 4x4 CMP hammer one lock with different
+ * compute grains (a pipeline-like imbalance); the example prints a
+ * per-thread breakdown — acquisitions, spin vs sleep wins, blocking
+ * decomposition — under the original queue spinlock and under OCOR.
+ *
+ *   ./lock_contention [iterations]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/simulator.hh"
+
+using namespace ocor;
+
+namespace
+{
+
+std::vector<Program>
+buildWorkload(unsigned threads, unsigned iterations)
+{
+    std::vector<Program> programs;
+    for (unsigned t = 0; t < threads; ++t) {
+        ProgramBuilder b;
+        for (unsigned i = 0; i < iterations; ++i) {
+            // Imbalanced parallel phases: thread t computes longer.
+            b.compute(2000 + 400 * t);
+            b.lock(0);
+            b.load(0x8000'0000);      // shared state
+            b.store(0x8000'0000);
+            b.compute(120);
+            b.unlock(0);
+        }
+        programs.push_back(b.build());
+    }
+    return programs;
+}
+
+void
+run(bool ocor_on, unsigned iterations)
+{
+    SystemConfig cfg;
+    cfg.mesh = MeshShape{4, 4};
+    cfg.numThreads = 16;
+    cfg.ocor.enabled = ocor_on;
+
+    BgTrafficConfig bg;
+    bg.rate = 0.02;
+
+    Simulator sim(cfg, buildWorkload(16, iterations), bg);
+    RunMetrics m = sim.run();
+
+    std::printf("\n=== %s ===\n",
+                ocor_on ? "OCOR" : "original queue spinlock");
+    std::printf("ROI finish: %llu cycles | COH %.1f%% | spin wins "
+                "%.1f%%\n",
+                static_cast<unsigned long long>(m.roiFinish),
+                m.cohPct(), m.spinWinPct());
+    std::printf("%-4s %6s %5s %6s %10s %10s %9s\n", "tid", "acq",
+                "spin", "sleep", "blocked", "COH", "compute");
+    for (ThreadId t = 0; t < 16; ++t) {
+        const ThreadCounters &c = m.perThread[t];
+        std::printf("t%-3u %6llu %5llu %6llu %10llu %10llu %9llu\n",
+                    t,
+                    static_cast<unsigned long long>(c.acquisitions),
+                    static_cast<unsigned long long>(c.spinWins),
+                    static_cast<unsigned long long>(c.sleepWins),
+                    static_cast<unsigned long long>(
+                        c.blockedHeldCycles + c.blockedIdleCycles),
+                    static_cast<unsigned long long>(
+                        c.blockedIdleCycles),
+                    static_cast<unsigned long long>(
+                        c.computeCycles));
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned iterations = argc > 1
+        ? static_cast<unsigned>(std::atoi(argv[1]))
+        : 5;
+    std::printf("hand-built contended workload: 16 threads, one hot "
+                "lock, %u iterations each\n", iterations);
+    run(false, iterations);
+    run(true, iterations);
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Example: use the NoC substrate directly (no caches, no OS) as a
+ * standalone network simulator — uniform-random traffic sweep that
+ * reports average packet latency vs offered load, with and without
+ * a stream of prioritized lock packets cutting through.
+ *
+ *   ./noc_traffic [max_load_percent]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.hh"
+#include "noc/network.hh"
+
+using namespace ocor;
+
+namespace
+{
+
+struct LoadPoint
+{
+    double offered;   ///< packets/node/cycle
+    double dataLat;
+    double lockLat;
+    std::uint64_t delivered;
+};
+
+LoadPoint
+runLoad(double rate, bool with_lock_stream, bool ocor_on)
+{
+    MeshShape mesh{8, 8};
+    NocParams params;
+    OcorConfig ocor;
+    ocor.enabled = ocor_on;
+    OcorConfig stamping;
+    stamping.enabled = true;
+
+    Network net(mesh, params, ocor);
+    for (NodeId n = 0; n < mesh.numNodes(); ++n)
+        net.setNodeSink(n, [](const PacketPtr &, Cycle) {});
+
+    Rng rng(12345);
+    const Cycle cycles = 20000;
+    for (Cycle c = 0; c < cycles; ++c) {
+        for (NodeId n = 0; n < mesh.numNodes(); ++n) {
+            if (!rng.chance(rate))
+                continue;
+            NodeId dst = static_cast<NodeId>(
+                rng.range(mesh.numNodes()));
+            if (dst == n)
+                continue;
+            // 30% single-flit control, 70% 8-flit data (coherence
+            // mix): approximates the simulator's traffic.
+            auto type = rng.chance(0.3) ? MsgType::GetS
+                                        : MsgType::Data;
+            net.send(makePacket(type, n, dst, 0x80 * c), c);
+        }
+        // One node runs a lock hot spot: node 0 receives a
+        // prioritized LockTry stream from node 63.
+        if (with_lock_stream && c % 50 == 0) {
+            auto pkt = makePacket(MsgType::LockTry, 63, 0, 0x1000);
+            pkt->priority = makePriority(
+                stamping, PriorityClass::LockTry, 1, 0);
+            net.send(pkt, c);
+        }
+        net.tick(c);
+    }
+
+    LoadPoint p;
+    p.offered = rate;
+    p.dataLat = net.stats().dataPacketLatency.mean();
+    p.lockLat = net.stats().lockPacketLatency.mean();
+    p.delivered = net.stats().packetsDelivered;
+    return p;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double max_load = argc > 1 ? std::atof(argv[1]) / 100.0 : 0.06;
+    std::printf("8x8 mesh, uniform random traffic + prioritized "
+                "lock stream from node 63 to node 0\n\n");
+    std::printf("%-8s | %-25s | %-25s\n", "",
+                "baseline router", "OCOR priority router");
+    std::printf("%-8s | %10s %12s | %10s %12s\n", "load",
+                "data lat", "lock lat", "data lat", "lock lat");
+    for (double rate = 0.01; rate <= max_load + 1e-9; rate += 0.01) {
+        LoadPoint base = runLoad(rate, true, false);
+        LoadPoint ocor = runLoad(rate, true, true);
+        std::printf("%-8.2f | %10.1f %12.1f | %10.1f %12.1f\n",
+                    rate, base.dataLat, base.lockLat, ocor.dataLat,
+                    ocor.lockLat);
+    }
+    std::printf("\nExpected: with OCOR the lock-packet latency stays "
+                "near the zero-load latency\nwhile data latency "
+                "climbs with congestion; the baseline treats both "
+                "alike.\n");
+    return 0;
+}

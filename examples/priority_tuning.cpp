@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Example: explore OCOR's design space on one benchmark — priority
+ * level count and rule selection — the knobs a system architect
+ * would tune before committing the hardware budget.
+ *
+ *   ./priority_tuning [benchmark] [threads]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/experiment.hh"
+
+using namespace ocor;
+
+namespace
+{
+
+double
+cohImprovement(const BenchmarkProfile &profile,
+               const ExperimentConfig &base_exp,
+               const OcorConfig &ocor)
+{
+    ExperimentConfig exp = base_exp;
+    exp.ocorOverrideSet = true;
+    exp.ocorOverride = ocor;
+    BenchmarkResult r = runComparison(profile, exp);
+    return r.cohImprovementPct();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "can";
+    unsigned threads = argc > 2
+        ? static_cast<unsigned>(std::atoi(argv[2]))
+        : 16;
+
+    BenchmarkProfile profile = profileByName(name);
+    ExperimentConfig exp;
+    exp.threads = threads;
+    exp.iterationsOverride = 4;
+
+    std::printf("OCOR design-space exploration on '%s' "
+                "(%u threads)\n\n", name.c_str(), threads);
+
+    std::printf("priority levels sweep (hardware cost: levels+1 "
+                "one-hot bits per packet):\n");
+    for (unsigned levels : {1u, 2u, 4u, 8u, 16u}) {
+        OcorConfig ocor;
+        ocor.numRtrLevels = levels;
+        std::printf("  %2u levels (%2u header bits): COH reduction "
+                    "%5.1f%%\n", levels, levels + 1,
+                    cohImprovement(profile, exp, ocor));
+    }
+
+    std::printf("\nrule selection:\n");
+    {
+        OcorConfig full;
+        std::printf("  all four rules:            %5.1f%%\n",
+                    cohImprovement(profile, exp, full));
+        OcorConfig no_rtr;
+        no_rtr.ruleLeastRtrFirst = false;
+        std::printf("  without Least-RTR-First:   %5.1f%%\n",
+                    cohImprovement(profile, exp, no_rtr));
+        OcorConfig no_wl;
+        no_wl.ruleWakeupLast = false;
+        std::printf("  without Wakeup-Last:       %5.1f%%\n",
+                    cohImprovement(profile, exp, no_wl));
+        OcorConfig no_prog;
+        no_prog.ruleSlowProgressFirst = false;
+        std::printf("  without Slow-Progress:     %5.1f%%\n",
+                    cohImprovement(profile, exp, no_prog));
+    }
+
+    std::printf("\nTakeaway: 8 levels capture nearly all of the "
+                "benefit (Figure 16), and the\nlock-first + "
+                "least-RTR + wakeup-last combination carries the "
+                "mechanism.\n");
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Quickstart: build a 64-core CMP, run one contended-lock workload
+ * with the original queue spinlock and with OCOR, and print the
+ * competition-overhead comparison.
+ *
+ *   ./quickstart [benchmark-name] [threads]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/experiment.hh"
+
+using namespace ocor;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "body";
+    unsigned threads = argc > 2
+        ? static_cast<unsigned>(std::atoi(argv[2]))
+        : 64;
+
+    BenchmarkProfile profile = profileByName(name);
+    ExperimentConfig exp;
+    exp.threads = threads;
+
+    std::printf("benchmark %s (%s, CS rate %s, net util %s), "
+                "%u threads\n",
+                profile.name.c_str(), profile.suite.c_str(),
+                profile.highCsRate ? "high" : "low",
+                profile.highNetUtil ? "high" : "low", threads);
+
+    BenchmarkResult r = runComparison(profile, exp);
+
+    auto show = [&](const char *label, const RunMetrics &m) {
+        std::printf("  %-8s ROI %9llu cycles | COH %5.1f%% | "
+                    "CS %4.1f%% | spin wins %5.1f%% | sleeps %llu\n",
+                    label,
+                    static_cast<unsigned long long>(m.roiFinish),
+                    m.cohPct(), m.csPct(), m.spinWinPct(),
+                    static_cast<unsigned long long>(m.totalSleeps()));
+    };
+    show("Original", r.base);
+    show("OCOR", r.ocor);
+    std::printf("  COH reduction %.1f%% | ROI improvement %.1f%% | "
+                "spin-win gain %+.1f pts\n",
+                r.cohImprovementPct(), r.roiImprovementPct(),
+                r.spinWinImprovementPts());
+    return 0;
+}

@@ -1,0 +1,25 @@
+#!/bin/bash
+# Regenerate every figure/table of the paper's evaluation.
+# Full 64-thread runs are memoized in ocor_results.tsv (this
+# directory), so the 25-benchmark sweep is simulated only once.
+set -u
+cd "$(dirname "$0")/build"
+
+run() {
+    echo
+    echo "################ $* ################"
+    "$@"
+}
+
+run ./bench/fig02_criticality
+run ./bench/fig05_scenarios
+run ./bench/fig08_scheduling
+run ./bench/fig10_profile
+run ./bench/fig11_coh
+run ./bench/fig12_characteristics
+run ./bench/fig13_cs_time
+run ./bench/fig14_roi
+run ./bench/fig15_scalability --iters 4
+run ./bench/fig16_levels --quick --iters 3 --ablate
+run ./bench/table3_summary
+run ./bench/micro_router --benchmark_min_time=0.05

@@ -1,0 +1,4 @@
+#include "common/onehot.hh"
+
+// All helpers are inline; this translation unit exists so the module
+// has a home for future non-inline additions and appears in the build.

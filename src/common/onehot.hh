@@ -1,0 +1,70 @@
+/**
+ * @file
+ * One-hot priority coding helpers.
+ *
+ * Section 4.2 of the paper encodes packet priority as one-hot bits so
+ * routers can arbitrate without comparators: bit position == priority
+ * level, and arbitration reduces to a bitwise OR across candidates
+ * followed by a leading-one pick. These helpers model that encoding.
+ *
+ * Convention used throughout the library: **higher bit index == higher
+ * priority**. A value of 0 means "no priority" (packet without the
+ * priority check bit).
+ */
+
+#ifndef OCOR_COMMON_ONEHOT_HH
+#define OCOR_COMMON_ONEHOT_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "common/log.hh"
+
+namespace ocor
+{
+
+/** One-hot coded priority word; supports up to 64 levels. */
+using OneHot = std::uint64_t;
+
+/** Encode priority level @p level (0 = lowest) as a one-hot word. */
+inline OneHot
+onehotEncode(unsigned level)
+{
+    if (level >= 64)
+        ocor_panic("one-hot level %u out of range", level);
+    return OneHot{1} << level;
+}
+
+/** True iff @p v has exactly one bit set. */
+inline bool
+onehotValid(OneHot v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Decode a one-hot word back to its level; v must be valid. */
+inline unsigned
+onehotDecode(OneHot v)
+{
+    if (!onehotValid(v))
+        ocor_panic("invalid one-hot word %llu",
+                   static_cast<unsigned long long>(v));
+    return static_cast<unsigned>(std::countr_zero(v));
+}
+
+/**
+ * The highest priority present in an OR-reduction of candidate words,
+ * as a one-hot word itself (the LPA's first output in Figure 9).
+ * Returns 0 when @p mask is 0.
+ */
+inline OneHot
+onehotHighest(OneHot mask)
+{
+    if (mask == 0)
+        return 0;
+    return OneHot{1} << (63 - std::countl_zero(mask));
+}
+
+} // namespace ocor
+
+#endif // OCOR_COMMON_ONEHOT_HH

@@ -1,0 +1,92 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+namespace ocor
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t v, int k)
+{
+    return (v << k) | (v >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::range(std::uint64_t bound)
+{
+    // Rejection-free multiply-shift mapping; bias is negligible for
+    // the small bounds used by the simulator.
+    if (bound == 0)
+        return 0;
+    unsigned __int128 m = static_cast<unsigned __int128>(next()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+double
+Rng::uniform()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+std::uint64_t
+Rng::nextEventGap(double p)
+{
+    if (p <= 0.0)
+        return static_cast<std::uint64_t>(1) << 62;
+    if (p >= 1.0)
+        return 1;
+    // Inverse-CDF sample of a geometric distribution (support >= 1).
+    double u = uniform();
+    double g = std::floor(std::log1p(-u) / std::log1p(-p)) + 1.0;
+    if (g < 1.0)
+        g = 1.0;
+    return static_cast<std::uint64_t>(g);
+}
+
+} // namespace ocor

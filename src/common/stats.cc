@@ -1,0 +1,28 @@
+#include "common/stats.hh"
+
+#include <cstdio>
+
+namespace ocor
+{
+
+double
+pct(double part, double whole)
+{
+    return whole == 0.0 ? 0.0 : 100.0 * part / whole;
+}
+
+double
+ratio(double part, double whole)
+{
+    return whole == 0.0 ? 0.0 : part / whole;
+}
+
+std::string
+pctStr(double percent, int decimals)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, percent);
+    return buf;
+}
+
+} // namespace ocor

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Lightweight statistics primitives used by all modules.
+ *
+ * A deliberately small subset of a full stats package: scalar
+ * counters, averages and histograms, all plain value types that the
+ * owning component aggregates into experiment-level reports.
+ */
+
+#ifndef OCOR_COMMON_STATS_HH
+#define OCOR_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ocor
+{
+
+/** Running scalar sample statistics (count / sum / min / max / mean). */
+class SampleStat
+{
+  public:
+    void
+    sample(double v)
+    {
+        if (count_ == 0) {
+            min_ = v;
+            max_ = v;
+        } else {
+            min_ = std::min(min_, v);
+            max_ = std::max(max_, v);
+        }
+        sum_ += v;
+        ++count_;
+    }
+
+    void
+    merge(const SampleStat &o)
+    {
+        if (o.count_ == 0)
+            return;
+        if (count_ == 0) {
+            *this = o;
+            return;
+        }
+        min_ = std::min(min_, o.min_);
+        max_ = std::max(max_, o.max_);
+        sum_ += o.sum_;
+        count_ += o.count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    void reset() { *this = SampleStat{}; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Fixed-bucket histogram over [0, bucketWidth * numBuckets). */
+class Histogram
+{
+  public:
+    Histogram(double bucket_width = 1.0, std::size_t num_buckets = 32)
+        : bucketWidth_(bucket_width), buckets_(num_buckets, 0)
+    {}
+
+    void
+    sample(double v)
+    {
+        stat_.sample(v);
+        std::size_t idx = v <= 0.0
+            ? 0
+            : static_cast<std::size_t>(v / bucketWidth_);
+        if (idx >= buckets_.size())
+            idx = buckets_.size() - 1;
+        ++buckets_[idx];
+    }
+
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    const SampleStat &stat() const { return stat_; }
+    double bucketWidth() const { return bucketWidth_; }
+
+  private:
+    double bucketWidth_;
+    std::vector<std::uint64_t> buckets_;
+    SampleStat stat_;
+};
+
+/** Percentage helper: 100 * part / whole, 0 when whole == 0. */
+double pct(double part, double whole);
+
+/** Ratio helper: part / whole, 0 when whole == 0. */
+double ratio(double part, double whole);
+
+/** Format a double as "12.3%" style string. */
+std::string pctStr(double percent, int decimals = 1);
+
+} // namespace ocor
+
+#endif // OCOR_COMMON_STATS_HH

@@ -1,0 +1,30 @@
+#include "core/ocor_config.hh"
+
+#include "common/log.hh"
+
+namespace ocor
+{
+
+unsigned
+OcorConfig::rtrSegmentWidth() const
+{
+    if (numRtrLevels == 0)
+        return 1;
+    unsigned w = maxSpinCount / numRtrLevels;
+    return w == 0 ? 1 : w;
+}
+
+void
+OcorConfig::validate() const
+{
+    if (maxSpinCount == 0)
+        ocor_fatal("OcorConfig: maxSpinCount must be > 0");
+    if (numRtrLevels == 0 || numRtrLevels > 62)
+        ocor_fatal("OcorConfig: numRtrLevels must be in [1, 62]");
+    if (numProgressLevels == 0 || numProgressLevels > 63)
+        ocor_fatal("OcorConfig: numProgressLevels must be in [1, 63]");
+    if (progressSegmentWidth == 0)
+        ocor_fatal("OcorConfig: progressSegmentWidth must be > 0");
+}
+
+} // namespace ocor

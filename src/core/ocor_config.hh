@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Configuration of the OCOR mechanism (the paper's contribution).
+ *
+ * Captures every knob Section 4 and Section 5.2.5 discuss: the spin
+ * budget of the queue spinlock (MAX_SPIN_COUNT), the number of one-hot
+ * priority levels the 128-retry span is folded into, the progress
+ * (starvation-avoidance) encoding, and per-rule enable switches used
+ * by the ablation benches.
+ */
+
+#ifndef OCOR_CORE_OCOR_CONFIG_HH
+#define OCOR_CORE_OCOR_CONFIG_HH
+
+namespace ocor
+{
+
+/** Tunables of the Opportunistic COH Reduction mechanism. */
+struct OcorConfig
+{
+    /** Master switch; false == the unmodified baseline ("Original"). */
+    bool enabled = false;
+
+    /**
+     * Spin budget of the queue spinlock (Linux 4.2 uses 128; see the
+     * paper's footnote 1). RTR = maxSpinCount - retries so far.
+     */
+    unsigned maxSpinCount = 128;
+
+    /**
+     * Number of one-hot priority levels used for locking requests
+     * (paper default: 8, each covering 16 retries; one extra lowest
+     * level is implicitly reserved for wakeup requests).
+     */
+    unsigned numRtrLevels = 8;
+
+    /** Number of one-hot levels for the progress (PROG) field. */
+    unsigned numProgressLevels = 8;
+
+    /** Completed critical sections per progress segment. */
+    unsigned progressSegmentWidth = 4;
+
+    /** Table 1, rule 1: Slow Progress First (starvation avoidance). */
+    bool ruleSlowProgressFirst = true;
+
+    /** Table 1, rule 2: Locking Request Packet First. */
+    bool ruleLockFirst = true;
+
+    /** Table 1, rule 3: Least RTR First. */
+    bool ruleLeastRtrFirst = true;
+
+    /** Table 1, rule 4: Wakeup Request Last. */
+    bool ruleWakeupLast = true;
+
+    /** Retries covered by one RTR priority segment (>= 1). */
+    unsigned rtrSegmentWidth() const;
+
+    /** Validate invariants; ocor_fatal()s on a bad configuration. */
+    void validate() const;
+};
+
+} // namespace ocor
+
+#endif // OCOR_CORE_OCOR_CONFIG_HH

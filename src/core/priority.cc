@@ -1,0 +1,87 @@
+#include "core/priority.hh"
+
+#include <algorithm>
+
+namespace ocor
+{
+
+unsigned
+rtrToLevel(const OcorConfig &cfg, unsigned rtr)
+{
+    const unsigned levels = cfg.numRtrLevels;
+    const unsigned width = cfg.rtrSegmentWidth();
+    unsigned clamped = std::clamp(rtr, 1u, cfg.maxSpinCount);
+    unsigned segment = (clamped - 1) / width;
+    if (segment >= levels)
+        segment = levels - 1;
+    // Smallest-RTR segment -> highest level; level 0 is wakeup-only.
+    return levels - segment;
+}
+
+unsigned
+progressToSegment(const OcorConfig &cfg, std::uint64_t prog)
+{
+    std::uint64_t seg = prog / cfg.progressSegmentWidth;
+    std::uint64_t last = cfg.numProgressLevels - 1;
+    return static_cast<unsigned>(std::min(seg, last));
+}
+
+PriorityFields
+makePriority(const OcorConfig &cfg, PriorityClass cls, unsigned rtr,
+             std::uint64_t prog)
+{
+    PriorityFields f;
+    if (cls == PriorityClass::Normal)
+        return f;
+    if (!cfg.enabled)
+        return f;
+    // Ablating rule 2 removes every special treatment of lock-protocol
+    // packets in the NoC, which collapses onto the baseline router
+    // behaviour (see DESIGN.md, ablations).
+    if (!cfg.ruleLockFirst)
+        return f;
+
+    const unsigned top = cfg.numRtrLevels;
+    unsigned level = 0;
+    switch (cls) {
+      case PriorityClass::LockTry:
+        level = cfg.ruleLeastRtrFirst ? rtrToLevel(cfg, rtr) : top;
+        break;
+      case PriorityClass::LockRelease:
+        // The holder's release store unblocks every competitor; it is
+        // served at the top locking level.
+        level = top;
+        break;
+      case PriorityClass::Wakeup:
+        level = cfg.ruleWakeupLast ? 0 : top;
+        break;
+      case PriorityClass::Normal:
+        break; // unreachable
+    }
+
+    f.check = true;
+    f.priorityBits = onehotEncode(level);
+    f.progressBits = onehotEncode(progressToSegment(cfg, prog));
+    return f;
+}
+
+std::uint64_t
+priorityRank(const OcorConfig &cfg, const PriorityFields &f)
+{
+    if (!cfg.enabled || !f.check)
+        return 0;
+
+    const unsigned level = onehotDecode(f.priorityBits);
+    const unsigned seg = onehotDecode(f.progressBits);
+    const unsigned prog_comp = cfg.ruleSlowProgressFirst
+        ? (cfg.numProgressLevels - 1 - seg)
+        : 0;
+
+    // Lexicographic (progress, level) flattened into one integer;
+    // +1 keeps every lock-protocol packet above normal traffic
+    // (Table 1 rule 2).
+    return 1 + level
+        + static_cast<std::uint64_t>(cfg.numRtrLevels + 2) * prog_comp;
+}
+
+} // namespace ocor

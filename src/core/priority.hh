@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Packet priority fields and the Table-1 prioritization rules.
+ *
+ * Figure 8 of the paper adds three header fields to locking and wakeup
+ * request packets: a priority *check bit* (distinguishes lock/wakeup
+ * packets from data and coherence packets), one-hot *priority bits*
+ * derived from the RTR value, and one-hot *progress bits* derived from
+ * the issuing thread's PROG counter. Routers arbitrate with the four
+ * rules of Table 1:
+ *
+ *   1. Slow Progress First    (smaller PROG wins)
+ *   2. Locking Request First  (check bit set beats normal packets)
+ *   3. Least RTR First        (higher RTR priority level wins)
+ *   4. Wakeup Request Last    (wakeups get the lowest lock level)
+ *
+ * For arbitration the library collapses the rules into a single
+ * totally-ordered integer rank (higher == served first); ties are
+ * resolved by the arbiter's round-robin / random policy, preserving
+ * the FIFO fairness discussed in Section 4.2. The Lpa class in
+ * noc/arbiter.hh models the one-hot hardware datapath of Figure 9 and
+ * is unit-tested to agree with this rank.
+ */
+
+#ifndef OCOR_CORE_PRIORITY_HH
+#define OCOR_CORE_PRIORITY_HH
+
+#include <cstdint>
+
+#include "common/onehot.hh"
+#include "core/ocor_config.hh"
+
+namespace ocor
+{
+
+/** Priority-related header fields carried by every NoC packet. */
+struct PriorityFields
+{
+    /** Priority check bit: set on lock-protocol packets only. */
+    bool check = false;
+
+    /**
+     * One-hot RTR priority bits (bit index == level; higher level ==
+     * higher priority). Level 0 is the dedicated lowest level of
+     * wakeup requests; levels 1..numRtrLevels encode RTR segments.
+     * Zero when check == false.
+     */
+    OneHot priorityBits = 0;
+
+    /**
+     * One-hot progress bits; here bit index == progress *segment*
+     * (bit 0 = slowest segment). Zero when check == false.
+     */
+    OneHot progressBits = 0;
+};
+
+/** Classes of packets for priority stamping purposes. */
+enum class PriorityClass : std::uint8_t
+{
+    Normal,      ///< data / coherence / memory packet (check bit 0)
+    LockTry,     ///< spinning-phase atomic locking request
+    LockRelease, ///< atomic release store of the lock holder
+    Wakeup,      ///< FUTEX_WAKE request or wake notification
+};
+
+/**
+ * Map an RTR value onto its one-hot priority level (Section 4.2).
+ *
+ * RTR in [1, maxSpinCount] is split evenly into numRtrLevels segments
+ * of rtrSegmentWidth() retries each; the *smallest* RTR segment maps
+ * to the *highest* level. Level 0 is reserved for wakeup requests.
+ *
+ * @param cfg  OCOR configuration (levels, spin budget).
+ * @param rtr  remaining times of retry, clamped into [1, maxSpinCount].
+ * @return     level in [1, cfg.numRtrLevels].
+ */
+unsigned rtrToLevel(const OcorConfig &cfg, unsigned rtr);
+
+/**
+ * Map a PROG counter value onto its progress segment (0 = slowest).
+ * Saturates at the last segment.
+ */
+unsigned progressToSegment(const OcorConfig &cfg, std::uint64_t prog);
+
+/**
+ * Build the header fields for a packet of class @p cls issued by a
+ * thread with the given RTR and PROG values. When OCOR is disabled
+ * all packets get empty fields (the baseline router ignores them
+ * anyway).
+ */
+PriorityFields makePriority(const OcorConfig &cfg, PriorityClass cls,
+                            unsigned rtr, std::uint64_t prog);
+
+/**
+ * Collapse the Table-1 rules into a totally ordered rank.
+ *
+ * Higher rank is served first. Rank 0 is every normal packet (and
+ * every packet when OCOR is disabled), so baseline behaviour reduces
+ * to pure round-robin among equals.
+ */
+std::uint64_t priorityRank(const OcorConfig &cfg,
+                           const PriorityFields &f);
+
+} // namespace ocor
+
+#endif // OCOR_CORE_PRIORITY_HH

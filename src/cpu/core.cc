@@ -1,0 +1,120 @@
+#include "cpu/core.hh"
+
+#include "common/log.hh"
+
+namespace ocor
+{
+
+Core::Core(Pcb &pcb, L1Cache &l1, QSpinlock &qspin, Program program,
+           const BgTrafficConfig &bg, std::uint64_t seed,
+           Addr lock_region_base, unsigned line_bytes)
+    : pcb_(pcb), l1_(l1), qspin_(qspin), program_(std::move(program)),
+      bg_(bg), rng_(seed), lockRegionBase_(lock_region_base),
+      lineBytes_(line_bytes)
+{
+    if (!program_.wellFormed())
+        ocor_fatal("Core t%u: malformed program", pcb_.tid);
+    nextBg_ = rng_.nextEventGap(bg_.rate);
+}
+
+Addr
+Core::lockAddr(std::uint64_t lock_idx) const
+{
+    return lockRegionBase_ + lock_idx * lineBytes_;
+}
+
+void
+Core::maybeIssueBackground(Cycle now)
+{
+    if (bg_.rate <= 0.0 || now < nextBg_)
+        return;
+    // The core only generates its application traffic while the
+    // thread actually occupies it.
+    if (pcb_.state != ThreadState::Running &&
+        pcb_.state != ThreadState::InCS)
+        return;
+
+    nextBg_ = now + rng_.nextEventGap(bg_.rate);
+    Addr line = bg_.poolBase
+        + rng_.range(bg_.poolLines) * lineBytes_;
+    bool write = rng_.chance(bg_.storeFraction);
+    bool ok = l1_.request(line, write, now, [](Cycle) {});
+    if (ok)
+        ++stats_.bgAccesses;
+    else
+        ++stats_.bgRejected;
+}
+
+void
+Core::step(Cycle now)
+{
+    if (waitingMem_ || waitingLock_)
+        return;
+    if (busyUntil_ > now)
+        return;
+
+    const Op &op = program_.ops[pc_];
+    switch (op.type) {
+      case OpType::Compute:
+        busyUntil_ = now + op.arg;
+        ++pc_;
+        ++stats_.opsExecuted;
+        break;
+
+      case OpType::Lock:
+        waitingLock_ = true;
+        ++stats_.opsExecuted;
+        qspin_.acquire(lockAddr(op.arg), now, [this](Cycle) {
+            waitingLock_ = false;
+            ++pc_;
+        });
+        break;
+
+      case OpType::Unlock:
+        qspin_.release(now);
+        ++pc_;
+        ++stats_.opsExecuted;
+        break;
+
+      case OpType::Load:
+      case OpType::Store: {
+        bool write = op.type == OpType::Store;
+        waitingMem_ = true;
+        bool ok = l1_.request(op.arg, write, now, [this](Cycle) {
+            waitingMem_ = false;
+            ++pc_;
+        });
+        if (!ok) {
+            // MSHR pressure: retry next cycle.
+            waitingMem_ = false;
+            ++stats_.fgRetries;
+            memRetry_ = true;
+            return;
+        }
+        if (write)
+            ++stats_.fgStores;
+        else
+            ++stats_.fgLoads;
+        ++stats_.opsExecuted;
+        break;
+      }
+
+      case OpType::End:
+        pcb_.state = ThreadState::Finished;
+        finishCycle_ = now;
+        ++stats_.opsExecuted;
+        break;
+    }
+}
+
+void
+Core::tick(Cycle now)
+{
+    if (pcb_.state == ThreadState::Finished)
+        return;
+    maybeIssueBackground(now);
+    memRetry_ = false;
+    step(now);
+}
+
+} // namespace ocor

@@ -1,0 +1,26 @@
+#include "mem/address_map.hh"
+
+#include "common/log.hh"
+
+namespace ocor
+{
+
+AddressMap::AddressMap(const MeshShape &mesh, unsigned line_bytes)
+    : mesh_(mesh), lineBytes_(line_bytes)
+{
+    if (lineBytes_ == 0 || (lineBytes_ & (lineBytes_ - 1)) != 0)
+        ocor_fatal("AddressMap: lineBytes must be a power of two");
+
+    // Middle nodes of the top and bottom rows (up to four per row,
+    // centered), mirroring the paper's Figure 3 placement and scaling
+    // down gracefully for small meshes.
+    unsigned per_row = mesh_.width < 4 ? mesh_.width : 4;
+    unsigned start = (mesh_.width - per_row) / 2;
+    for (unsigned x = start; x < start + per_row; ++x)
+        mcNodes_.push_back(mesh_.nodeAt(x, 0));
+    if (mesh_.height > 1)
+        for (unsigned x = start; x < start + per_row; ++x)
+            mcNodes_.push_back(mesh_.nodeAt(x, mesh_.height - 1));
+}
+
+} // namespace ocor

@@ -1,0 +1,48 @@
+#include "mem/mem_controller.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace ocor
+{
+
+MemController::MemController(NodeId node, const MemParams &params,
+                             SendFn send)
+    : node_(node), params_(params), send_(std::move(send))
+{}
+
+void
+MemController::handle(const PacketPtr &pkt, Cycle now)
+{
+    if (pkt->type != MsgType::MemRead && pkt->type != MsgType::MemWrite)
+        ocor_panic("MC %u: unexpected message %s", node_,
+                   msgTypeName(pkt->type));
+
+    Cycle start = std::max(now, nextStart_);
+    nextStart_ = start + params_.mcServiceInterval;
+    inService_.emplace_back(start + params_.dramLatency, pkt);
+    stats_.queuePeak = std::max<std::uint64_t>(stats_.queuePeak,
+                                               inService_.size());
+    if (pkt->type == MsgType::MemRead)
+        ++stats_.reads;
+    else
+        ++stats_.writes;
+}
+
+void
+MemController::tick(Cycle now)
+{
+    while (!inService_.empty() && inService_.front().first <= now) {
+        PacketPtr req = inService_.front().second;
+        inService_.pop_front();
+        if (req->type == MsgType::MemRead) {
+            auto resp = makePacket(MsgType::MemResp, node_, req->src,
+                                   req->addr);
+            send_(resp, now);
+        }
+        // Writes are absorbed.
+    }
+}
+
+} // namespace ocor

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Memory controller: fixed-latency DRAM behind a service queue.
+ *
+ * Eight controllers attach to the middle nodes of the top and bottom
+ * mesh rows (Figure 3). The model is a single-channel FIFO: request
+ * starts are spaced mcServiceInterval cycles apart and each access
+ * completes dramLatency cycles after it starts; reads return an
+ * 8-flit MemResp to the requesting L2 bank.
+ */
+
+#ifndef OCOR_MEM_MEM_CONTROLLER_HH
+#define OCOR_MEM_MEM_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "common/types.hh"
+#include "mem/params.hh"
+#include "noc/packet.hh"
+
+namespace ocor
+{
+
+/** Memory-controller observability counters. */
+struct McStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t queuePeak = 0;
+};
+
+/** One on-chip memory controller. */
+class MemController
+{
+  public:
+    MemController(NodeId node, const MemParams &params, SendFn send);
+
+    /** MemRead / MemWrite addressed to this controller. */
+    void handle(const PacketPtr &pkt, Cycle now);
+
+    /** Advance: complete accesses whose latency elapsed. */
+    void tick(Cycle now);
+
+    bool idle() const { return inService_.empty(); }
+    const McStats &stats() const { return stats_; }
+
+  private:
+    NodeId node_;
+    MemParams params_;
+    SendFn send_;
+
+    Cycle nextStart_ = 0;
+    std::deque<std::pair<Cycle, PacketPtr>> inService_;
+
+    McStats stats_;
+};
+
+} // namespace ocor
+
+#endif // OCOR_MEM_MEM_CONTROLLER_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Memory-hierarchy parameters (Table 2 defaults).
+ */
+
+#ifndef OCOR_MEM_PARAMS_HH
+#define OCOR_MEM_PARAMS_HH
+
+namespace ocor
+{
+
+/** Cache / directory / DRAM configuration. */
+struct MemParams
+{
+    // Private L1 per core: 32 KB, 4-way, 128 B lines, 2-cycle hit.
+    unsigned l1Sets = 64;
+    unsigned l1Ways = 4;
+    unsigned l1Latency = 2;
+    unsigned l1Mshrs = 32;
+
+    // Shared L2 bank per node: 1 MB, 16-way, 128 B lines, 6 cycles.
+    unsigned l2Sets = 512;
+    unsigned l2Ways = 16;
+    unsigned l2Latency = 6;
+
+    // DRAM behind 8 memory controllers.
+    unsigned dramLatency = 80;     ///< access latency, cycles
+    unsigned mcServiceInterval = 8;///< min cycles between req starts
+
+    unsigned lineBytes = 128;
+};
+
+} // namespace ocor
+
+#endif // OCOR_MEM_PARAMS_HH

@@ -1,0 +1,18 @@
+#include "noc/flit.hh"
+
+namespace ocor
+{
+
+FlitType
+flitTypeFor(unsigned index, unsigned n)
+{
+    if (n <= 1)
+        return FlitType::HeadTail;
+    if (index == 0)
+        return FlitType::Head;
+    if (index == n - 1)
+        return FlitType::Tail;
+    return FlitType::Body;
+}
+
+} // namespace ocor

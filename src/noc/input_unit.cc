@@ -1,0 +1,4 @@
+#include "noc/input_unit.hh"
+
+// Plain aggregate state; logic lives in Router. This translation unit
+// anchors the module in the build.

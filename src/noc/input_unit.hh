@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Router input unit: per-VC flit FIFOs and their pipeline state.
+ *
+ * Each input port of the 2-stage router holds numVcs virtual-channel
+ * FIFOs of vcDepth flits (Table 2: 6 VCs x 4 flits). Per VC we track
+ * the computed route and the allocated downstream VC of the packet
+ * currently at the head.
+ */
+
+#ifndef OCOR_NOC_INPUT_UNIT_HH
+#define OCOR_NOC_INPUT_UNIT_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/types.hh"
+#include "noc/flit.hh"
+
+namespace ocor
+{
+
+/** A flit waiting in a VC buffer together with its arrival cycle. */
+struct BufferedFlit
+{
+    Flit flit;
+    Cycle arrival = 0;
+};
+
+/** State of one input virtual channel. */
+struct VcState
+{
+    std::deque<BufferedFlit> fifo;
+
+    /** Route computed for the packet at the head (RC stage done). */
+    bool routed = false;
+    unsigned outPort = 0;
+
+    /** Downstream VC allocated by VA; -1 while unallocated. */
+    int outVc = -1;
+
+    bool empty() const { return fifo.empty(); }
+    const BufferedFlit &front() const { return fifo.front(); }
+
+    void
+    reset()
+    {
+        routed = false;
+        outVc = -1;
+    }
+};
+
+/** One router input port: a column of VC FIFOs. */
+struct InputUnit
+{
+    explicit InputUnit(unsigned num_vcs) : vcs(num_vcs) {}
+
+    std::vector<VcState> vcs;
+};
+
+} // namespace ocor
+
+#endif // OCOR_NOC_INPUT_UNIT_HH

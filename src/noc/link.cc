@@ -1,0 +1,49 @@
+#include "noc/link.hh"
+
+#include "common/log.hh"
+
+namespace ocor
+{
+
+void
+Link::sendFlit(const Flit &flit, Cycle now)
+{
+    if (lastFlitSend_ != neverCycle && lastFlitSend_ == now)
+        ocor_panic("Link: two flits sent in cycle %llu",
+                   static_cast<unsigned long long>(now));
+    lastFlitSend_ = now;
+    flits_.emplace_back(now + latency_, flit);
+}
+
+std::optional<Flit>
+Link::takeFlit(Cycle now)
+{
+    if (flits_.empty() || flits_.front().first > now)
+        return std::nullopt;
+    if (flits_.front().first < now)
+        ocor_panic("Link: flit missed its delivery cycle");
+    Flit f = flits_.front().second;
+    flits_.pop_front();
+    return f;
+}
+
+void
+Link::sendCredit(unsigned vc, Cycle now)
+{
+    credits_.emplace_back(now + latency_, vc);
+}
+
+std::vector<unsigned>
+Link::takeCredits(Cycle now)
+{
+    std::vector<unsigned> out;
+    while (!credits_.empty() && credits_.front().first <= now) {
+        if (credits_.front().first < now)
+            ocor_panic("Link: credit missed its delivery cycle");
+        out.push_back(credits_.front().second);
+        credits_.pop_front();
+    }
+    return out;
+}
+
+} // namespace ocor

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Point-to-point link with fixed latency.
+ *
+ * A Link is unidirectional for flits (upstream -> downstream) and
+ * carries per-VC credits in the reverse direction. Bandwidth is one
+ * flit per cycle; credits are not bandwidth limited (a credit wire
+ * per VC).
+ */
+
+#ifndef OCOR_NOC_LINK_HH
+#define OCOR_NOC_LINK_HH
+
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+#include "noc/flit.hh"
+
+namespace ocor
+{
+
+/** One-cycle (configurable) pipelined channel between two agents. */
+class Link
+{
+  public:
+    explicit Link(unsigned latency = 1) : latency_(latency) {}
+
+    /** Upstream puts a flit on the wire during cycle @p now. */
+    void sendFlit(const Flit &flit, Cycle now);
+
+    /** Downstream takes the flit arriving at cycle @p now, if any. */
+    std::optional<Flit> takeFlit(Cycle now);
+
+    /** Downstream returns a credit for VC @p vc during cycle @p now. */
+    void sendCredit(unsigned vc, Cycle now);
+
+    /** Upstream collects all credits arriving at cycle @p now. */
+    std::vector<unsigned> takeCredits(Cycle now);
+
+    unsigned latency() const { return latency_; }
+    bool idle() const { return flits_.empty() && credits_.empty(); }
+
+  private:
+    unsigned latency_;
+    Cycle lastFlitSend_ = neverCycle;
+    std::deque<std::pair<Cycle, Flit>> flits_;
+    std::deque<std::pair<Cycle, unsigned>> credits_;
+};
+
+} // namespace ocor
+
+#endif // OCOR_NOC_LINK_HH

@@ -1,0 +1,134 @@
+#include "noc/network.hh"
+
+#include "common/log.hh"
+
+namespace ocor
+{
+
+Network::Network(const MeshShape &mesh, const NocParams &params,
+                 const OcorConfig &ocor)
+    : mesh_(mesh), params_(params), ocor_(ocor)
+{
+    const unsigned n = mesh.numNodes();
+    routers_.reserve(n);
+    nis_.reserve(n);
+    for (NodeId i = 0; i < n; ++i) {
+        routers_.push_back(
+            std::make_unique<Router>(i, mesh, params, ocor));
+        nis_.push_back(
+            std::make_unique<NetworkInterface>(i, params, ocor));
+    }
+
+    auto new_link = [&]() {
+        links_.push_back(std::make_unique<Link>(params.linkLatency));
+        return links_.back().get();
+    };
+
+    // Inter-router links: create one per directed adjacency, wiring
+    // east/west and north/south pairs once from the lower index side.
+    for (NodeId i = 0; i < n; ++i) {
+        NodeId east = mesh.neighbor(i, PortEast);
+        if (east != invalidNode) {
+            Link *i_to_e = new_link();
+            Link *e_to_i = new_link();
+            routers_[i]->attach(PortEast, e_to_i, i_to_e);
+            routers_[east]->attach(PortWest, i_to_e, e_to_i);
+        }
+        NodeId south = mesh.neighbor(i, PortSouth);
+        if (south != invalidNode) {
+            Link *i_to_s = new_link();
+            Link *s_to_i = new_link();
+            routers_[i]->attach(PortSouth, s_to_i, i_to_s);
+            routers_[south]->attach(PortNorth, i_to_s, s_to_i);
+        }
+    }
+
+    // NI <-> router local port.
+    for (NodeId i = 0; i < n; ++i) {
+        Link *ni_to_r = new_link();
+        Link *r_to_ni = new_link();
+        routers_[i]->attach(PortLocal, ni_to_r, r_to_ni);
+        nis_[i]->attach(ni_to_r, r_to_ni);
+    }
+}
+
+void
+Network::setNodeSink(NodeId node, NetworkInterface::DeliverFn fn)
+{
+    nis_[node]->setDeliver(
+        [this, fn = std::move(fn)](const PacketPtr &pkt, Cycle now) {
+            ++stats_.packetsDelivered;
+            double lat =
+                static_cast<double>(pkt->ejectCycle - pkt->injectCycle);
+            stats_.packetLatency.sample(lat);
+            if (isLockProtocol(pkt->type)) {
+                ++stats_.lockPacketsDelivered;
+                stats_.lockPacketLatency.sample(lat);
+            } else {
+                stats_.dataPacketLatency.sample(lat);
+            }
+            fn(pkt, now);
+        });
+}
+
+void
+Network::send(const PacketPtr &pkt, Cycle now)
+{
+    if (pkt->src >= mesh_.numNodes() || pkt->dst >= mesh_.numNodes())
+        ocor_panic("Network::send: bad endpoints %u->%u", pkt->src,
+                   pkt->dst);
+    nis_[pkt->src]->inject(pkt, now);
+}
+
+void
+Network::tick(Cycle now)
+{
+    for (auto &r : routers_)
+        r->tick(now);
+    for (auto &ni : nis_)
+        ni->tick(now);
+}
+
+bool
+Network::idle() const
+{
+    for (const auto &r : routers_)
+        if (r->occupancy() != 0)
+            return false;
+    for (const auto &ni : nis_)
+        if (!ni->idle())
+            return false;
+    for (const auto &l : links_)
+        if (!l->idle())
+            return false;
+    return true;
+}
+
+std::uint64_t
+Network::totalFlitsInjected() const
+{
+    std::uint64_t n = 0;
+    for (const auto &ni : nis_)
+        n += ni->stats().flitsInjected;
+    return n;
+}
+
+std::uint64_t
+Network::totalPacketsInjected() const
+{
+    std::uint64_t n = 0;
+    for (const auto &ni : nis_)
+        n += ni->stats().packetsInjected;
+    return n;
+}
+
+std::uint64_t
+Network::totalLockPacketsInjected() const
+{
+    std::uint64_t n = 0;
+    for (const auto &ni : nis_)
+        n += ni->stats().lockPacketsInjected;
+    return n;
+}
+
+} // namespace ocor

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The mesh network: routers, NIs and links wired per Section 3.1.
+ */
+
+#ifndef OCOR_NOC_NETWORK_HH
+#define OCOR_NOC_NETWORK_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "core/ocor_config.hh"
+#include "noc/link.hh"
+#include "noc/network_interface.hh"
+#include "noc/params.hh"
+#include "noc/router.hh"
+#include "noc/routing.hh"
+
+namespace ocor
+{
+
+/** Network-wide aggregate statistics. */
+struct NetworkStats
+{
+    std::uint64_t packetsDelivered = 0;
+    std::uint64_t lockPacketsDelivered = 0;
+    SampleStat packetLatency;      ///< inject -> eject, all packets
+    SampleStat lockPacketLatency;  ///< lock-protocol packets only
+    SampleStat dataPacketLatency;  ///< everything else
+};
+
+/** A width x height mesh of 2-stage VC routers with one NI per node. */
+class Network
+{
+  public:
+    Network(const MeshShape &mesh, const NocParams &params,
+            const OcorConfig &ocor);
+
+    /** Node-side packet sink; wraps the NI deliver hook. */
+    void setNodeSink(NodeId node, NetworkInterface::DeliverFn fn);
+
+    /** Stamp-and-send convenience used by all node logic. */
+    void send(const PacketPtr &pkt, Cycle now);
+
+    void tick(Cycle now);
+
+    /** All buffers and links empty (drain check). */
+    bool idle() const;
+
+    NetworkInterface &ni(NodeId n) { return *nis_[n]; }
+    Router &router(NodeId n) { return *routers_[n]; }
+    const MeshShape &mesh() const { return mesh_; }
+    const NocParams &params() const { return params_; }
+    const NetworkStats &stats() const { return stats_; }
+
+    /** Sum of injected flits over all NIs (utilization metric). */
+    std::uint64_t totalFlitsInjected() const;
+    std::uint64_t totalPacketsInjected() const;
+    std::uint64_t totalLockPacketsInjected() const;
+
+  private:
+    MeshShape mesh_;
+    NocParams params_;
+    const OcorConfig &ocor_;
+
+    std::vector<std::unique_ptr<Router>> routers_;
+    std::vector<std::unique_ptr<NetworkInterface>> nis_;
+    std::vector<std::unique_ptr<Link>> links_;
+
+    NetworkStats stats_;
+};
+
+} // namespace ocor
+
+#endif // OCOR_NOC_NETWORK_HH

@@ -1,0 +1,192 @@
+#include "noc/network_interface.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "common/log.hh"
+#include "core/priority.hh"
+
+namespace ocor
+{
+
+NetworkInterface::NetworkInterface(NodeId id, const NocParams &params,
+                                   const OcorConfig &ocor)
+    : id_(id), params_(params), ocor_(ocor), sendArb_(params.numVcs)
+{
+    outVcs_.resize(params.numVcs);
+    for (auto &vc : outVcs_)
+        vc.credits = params.vcDepth;
+}
+
+void
+NetworkInterface::attach(Link *to_router, Link *from_router)
+{
+    toRouter_ = to_router;
+    fromRouter_ = from_router;
+}
+
+void
+NetworkInterface::inject(const PacketPtr &pkt, Cycle now)
+{
+    pkt->injectCycle = now;
+    if (pkt->dst == id_) {
+        // Local traffic never enters the mesh; model a minimal
+        // loopback latency.
+        loopback_.emplace_back(now + 1, pkt);
+        return;
+    }
+    injectQueue_.push_back({pkt, now + 1});
+    stats_.injectQueuePeak =
+        std::max<std::uint64_t>(stats_.injectQueuePeak,
+                                injectQueue_.size());
+}
+
+bool
+NetworkInterface::idle() const
+{
+    if (!injectQueue_.empty() || !loopback_.empty())
+        return false;
+    for (const auto &vc : outVcs_)
+        if (vc.pkt)
+            return false;
+    return reassembly_.empty();
+}
+
+void
+NetworkInterface::ejectIncoming(Cycle now)
+{
+    // Loopback deliveries.
+    while (!loopback_.empty() && loopback_.front().first <= now) {
+        auto pkt = loopback_.front().second;
+        loopback_.pop_front();
+        pkt->ejectCycle = now;
+        ++stats_.packetsEjected;
+        if (deliver_)
+            deliver_(pkt, now);
+    }
+
+    if (!fromRouter_)
+        return;
+
+    // The router's local port delivers at most one flit per cycle;
+    // the NI consumes it immediately and returns the credit.
+    while (auto flit = fromRouter_->takeFlit(now)) {
+        fromRouter_->sendCredit(flit->vc, now);
+        if (flit->isHead()) {
+            if (reassembly_.count(flit->vc))
+                ocor_panic("NI %u: head over unfinished packet", id_);
+            reassembly_[flit->vc] = flit->pkt;
+        }
+        if (flit->isTail()) {
+            auto it = reassembly_.find(flit->vc);
+            if (it == reassembly_.end())
+                ocor_panic("NI %u: tail without head", id_);
+            PacketPtr pkt = it->second;
+            reassembly_.erase(it);
+            pkt->ejectCycle = now;
+            ++stats_.packetsEjected;
+            if (deliver_)
+                deliver_(pkt, now);
+        }
+    }
+}
+
+void
+NetworkInterface::assignVcs(Cycle now)
+{
+    // Hand free VCs to the highest-rank waiting packets. FIFO order
+    // among equal ranks (stable scan).
+    for (auto &vc : outVcs_) {
+        if (vc.pkt)
+            continue;
+        std::int64_t best = -1;
+        std::size_t best_idx = 0;
+        for (std::size_t i = 0; i < injectQueue_.size(); ++i) {
+            if (injectQueue_[i].ready > now)
+                continue;
+            auto rank = static_cast<std::int64_t>(
+                priorityRank(ocor_, injectQueue_[i].pkt->priority));
+            if (rank > best) {
+                best = rank;
+                best_idx = i;
+            }
+        }
+        if (best < 0)
+            break;
+        vc.pkt = injectQueue_[best_idx].pkt;
+        vc.nextFlit = 0;
+        injectQueue_.erase(injectQueue_.begin()
+                           + static_cast<std::ptrdiff_t>(best_idx));
+    }
+}
+
+void
+NetworkInterface::sendOneFlit(Cycle now)
+{
+    if (!toRouter_)
+        return;
+
+    std::array<std::int64_t, 16> rank_buf;
+    auto ranks = std::span<std::int64_t>(rank_buf.data(),
+                                         params_.numVcs);
+    bool any = false;
+    for (unsigned v = 0; v < params_.numVcs; ++v) {
+        ranks[v] = -1;
+        const auto &vc = outVcs_[v];
+        if (!vc.pkt || vc.credits == 0)
+            continue;
+        ranks[v] = static_cast<std::int64_t>(
+            priorityRank(ocor_, vc.pkt->priority));
+        any = true;
+    }
+    if (!any)
+        return;
+    int winner = sendArb_.pick(ranks);
+    if (winner < 0)
+        return;
+
+    auto &vc = outVcs_[static_cast<unsigned>(winner)];
+    Flit flit;
+    flit.pkt = vc.pkt;
+    flit.index = vc.nextFlit;
+    flit.type = flitTypeFor(vc.nextFlit, vc.pkt->numFlits);
+    flit.vc = static_cast<unsigned>(winner);
+
+    if (flit.isHead())
+        vc.pkt->networkEnter = now;
+
+    toRouter_->sendFlit(flit, now);
+    --vc.credits;
+    ++vc.nextFlit;
+    ++stats_.flitsInjected;
+
+    if (flit.isTail()) {
+        ++stats_.packetsInjected;
+        if (isLockProtocol(vc.pkt->type))
+            ++stats_.lockPacketsInjected;
+        vc.pkt.reset();
+        vc.nextFlit = 0;
+    }
+}
+
+void
+NetworkInterface::tick(Cycle now)
+{
+    // Credits from the router's local input port.
+    if (toRouter_) {
+        for (unsigned v : toRouter_->takeCredits(now)) {
+            if (v >= params_.numVcs)
+                ocor_panic("NI %u: bad credit vc %u", id_, v);
+            auto &vc = outVcs_[v];
+            if (vc.credits >= params_.vcDepth)
+                ocor_panic("NI %u: credit overflow", id_);
+            ++vc.credits;
+        }
+    }
+
+    ejectIncoming(now);
+    assignVcs(now);
+    sendOneFlit(now);
+}
+
+} // namespace ocor

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Network interface (NI): packetization, priority stamping, VC-based
+ * injection, and reassembly/ejection.
+ *
+ * Section 4.1/4.2: the CPU writes the thread's RTR and PROG values to
+ * core-local registers; the NI reads them when packetizing a locking
+ * request and integrates the priority check bit, priority bits and
+ * progress bits into the packet header. This class performs that
+ * stamping (via core/priority.hh) for lock-protocol packets handed to
+ * inject().
+ *
+ * Injection also honors packet rank: a locking request never waits
+ * behind a queue of lower-priority data packets at its own NI under
+ * OCOR.
+ */
+
+#ifndef OCOR_NOC_NETWORK_INTERFACE_HH
+#define OCOR_NOC_NETWORK_INTERFACE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/ocor_config.hh"
+#include "noc/arbiter.hh"
+#include "noc/link.hh"
+#include "noc/params.hh"
+
+namespace ocor
+{
+
+/** NI observability counters. */
+struct NiStats
+{
+    std::uint64_t packetsInjected = 0;
+    std::uint64_t flitsInjected = 0;
+    std::uint64_t packetsEjected = 0;
+    std::uint64_t lockPacketsInjected = 0;
+    std::uint64_t injectQueuePeak = 0;
+};
+
+/** Per-node network interface. */
+class NetworkInterface
+{
+  public:
+    using DeliverFn = std::function<void(const PacketPtr &, Cycle)>;
+
+    NetworkInterface(NodeId id, const NocParams &params,
+                     const OcorConfig &ocor);
+
+    /** Wire the NI to its router (to_router carries our flits). */
+    void attach(Link *to_router, Link *from_router);
+
+    /** Node-side sink for ejected packets. */
+    void setDeliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+    /**
+     * Queue a packet for injection during cycle @p now; the caller
+     * has already stamped priority fields (see stampAndInject for
+     * the common path). Same-node packets take a 1-cycle loopback.
+     */
+    void inject(const PacketPtr &pkt, Cycle now);
+
+    /** Advance one cycle: ejection, VC assignment, flit send. */
+    void tick(Cycle now);
+
+    /** True when nothing is queued or in flight inside this NI. */
+    bool idle() const;
+
+    NodeId id() const { return id_; }
+    const NiStats &stats() const { return stats_; }
+
+    /** Packets waiting for a VC (tests and backpressure checks). */
+    std::size_t queueDepth() const { return injectQueue_.size(); }
+
+  private:
+    void ejectIncoming(Cycle now);
+    void assignVcs(Cycle now);
+    void sendOneFlit(Cycle now);
+
+    NodeId id_;
+    NocParams params_;
+    const OcorConfig &ocor_;
+
+    Link *toRouter_ = nullptr;
+    Link *fromRouter_ = nullptr;
+    DeliverFn deliver_;
+
+    struct QueuedPacket
+    {
+        PacketPtr pkt;
+        Cycle ready;     ///< earliest cycle the head may leave
+    };
+    std::deque<QueuedPacket> injectQueue_;
+
+    struct ActiveVc
+    {
+        PacketPtr pkt;       ///< null when the VC is free
+        unsigned nextFlit = 0;
+        unsigned credits;
+    };
+    std::vector<ActiveVc> outVcs_;
+    Arbiter sendArb_;
+
+    /** Reassembly of incoming packets, keyed by VC. */
+    std::map<unsigned, PacketPtr> reassembly_;
+
+    /** Same-node loopback (src == dst), 1-cycle latency. */
+    std::deque<std::pair<Cycle, PacketPtr>> loopback_;
+
+    NiStats stats_;
+};
+
+} // namespace ocor
+
+#endif // OCOR_NOC_NETWORK_INTERFACE_HH

@@ -1,0 +1,3 @@
+#include "noc/output_unit.hh"
+
+// Plain aggregate state; logic lives in Router.

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Router output unit: downstream VC bookkeeping and credit counters.
+ */
+
+#ifndef OCOR_NOC_OUTPUT_UNIT_HH
+#define OCOR_NOC_OUTPUT_UNIT_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ocor
+{
+
+/** Upstream view of one downstream virtual channel. */
+struct OutVcState
+{
+    /** Free buffer slots in the downstream VC FIFO. */
+    unsigned credits = 0;
+
+    /** A packet currently owns this VC (head sent, tail not yet). */
+    bool allocated = false;
+};
+
+/** One router output port. */
+struct OutputUnit
+{
+    OutputUnit(unsigned num_vcs, unsigned vc_depth)
+        : vcs(num_vcs)
+    {
+        for (auto &vc : vcs)
+            vc.credits = vc_depth;
+    }
+
+    std::vector<OutVcState> vcs;
+
+    /** Index of a free (unallocated) VC, or -1. */
+    int
+    findFreeVc() const
+    {
+        for (std::size_t i = 0; i < vcs.size(); ++i)
+            if (!vcs[i].allocated)
+                return static_cast<int>(i);
+        return -1;
+    }
+};
+
+} // namespace ocor
+
+#endif // OCOR_NOC_OUTPUT_UNIT_HH

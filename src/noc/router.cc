@@ -1,0 +1,252 @@
+#include "noc/router.hh"
+
+#include "common/log.hh"
+#include "core/priority.hh"
+
+namespace ocor
+{
+
+Router::Router(NodeId id, const MeshShape &mesh,
+               const NocParams &params, const OcorConfig &ocor)
+    : id_(id), mesh_(mesh), params_(params), ocor_(ocor)
+{
+    if (params.numVcs > maxVcs)
+        ocor_panic("Router: numVcs %u exceeds %u", params.numVcs,
+                   maxVcs);
+    inputs_.assign(NumPorts, InputUnit(params.numVcs));
+    outputs_.assign(NumPorts, OutputUnit(params.numVcs, params.vcDepth));
+    for (unsigned p = 0; p < NumPorts; ++p) {
+        vaArb_.emplace_back(NumPorts * params.numVcs);
+        saLocalArb_.emplace_back(params.numVcs);
+        saGlobalArb_.emplace_back(NumPorts);
+    }
+}
+
+void
+Router::attach(unsigned port, Link *in_link, Link *out_link)
+{
+    if (port >= NumPorts)
+        ocor_panic("Router::attach: bad port %u", port);
+    inLinks_[port] = in_link;
+    outLinks_[port] = out_link;
+}
+
+unsigned
+Router::occupancy() const
+{
+    unsigned n = 0;
+    for (const auto &in : inputs_)
+        for (const auto &vc : in.vcs)
+            n += static_cast<unsigned>(vc.fifo.size());
+    return n;
+}
+
+std::int64_t
+Router::headRank(const VcState &vc) const
+{
+    const auto &pkt = vc.front().flit.pkt;
+    return static_cast<std::int64_t>(priorityRank(ocor_, pkt->priority));
+}
+
+void
+Router::deliverIncoming(Cycle now)
+{
+    for (unsigned p = 0; p < NumPorts; ++p) {
+        // Credits returning from downstream.
+        if (outLinks_[p]) {
+            for (unsigned vc : outLinks_[p]->takeCredits(now)) {
+                if (vc >= params_.numVcs)
+                    ocor_panic("router %u: bad credit vc %u", id_, vc);
+                auto &state = outputs_[p].vcs[vc];
+                if (state.credits >= params_.vcDepth)
+                    ocor_panic("router %u: credit overflow", id_);
+                ++state.credits;
+            }
+        }
+        // Flits arriving from upstream.
+        if (inLinks_[p]) {
+            while (auto flit = inLinks_[p]->takeFlit(now)) {
+                auto &vc = inputs_[p].vcs[flit->vc];
+                if (vc.fifo.size() >= params_.vcDepth)
+                    ocor_panic("router %u: VC overflow p=%u vc=%u",
+                               id_, p, flit->vc);
+                vc.fifo.push_back({*flit, now});
+                ++buffered_;
+            }
+        }
+    }
+}
+
+void
+Router::vcAllocation(Cycle now)
+{
+    // Collect head flits needing RC + VA into a per-output request
+    // mask over the flattened candidate index port * numVcs + vc.
+    const unsigned nvc = params_.numVcs;
+
+    std::array<unsigned, NumPorts> reqCount{};
+    auto ranks = std::span<std::int64_t>(vaRanks_.data(),
+                                         NumPorts * nvc);
+
+    for (unsigned p = 0; p < NumPorts; ++p) {
+        for (unsigned v = 0; v < nvc; ++v) {
+            ranks[p * nvc + v] = -1;
+            auto &vc = inputs_[p].vcs[v];
+            if (vc.empty())
+                continue;
+            const auto &bf = vc.front();
+            if (!bf.flit.isHead())
+                continue;
+            // Stage-1 eligibility: one cycle after arrival.
+            if (bf.arrival + 1 > now)
+                continue;
+            if (!vc.routed) {
+                vc.outPort = xyRoute(mesh_, id_, bf.flit.pkt->dst);
+                vc.routed = true;
+            }
+            if (vc.outVc >= 0)
+                continue; // already allocated
+            ++reqCount[vc.outPort];
+        }
+    }
+
+    for (unsigned op = 0; op < NumPorts; ++op) {
+        if (reqCount[op] == 0)
+            continue;
+        // Grant free output VCs to requesters in rank order; the
+        // arbiter's pointer rotates ties.
+        while (reqCount[op] > 0 && outputs_[op].findFreeVc() >= 0) {
+            for (unsigned p = 0; p < NumPorts; ++p) {
+                for (unsigned v = 0; v < nvc; ++v) {
+                    auto &vc = inputs_[p].vcs[v];
+                    bool requesting = !vc.empty() && vc.routed &&
+                        vc.outPort == op && vc.outVc < 0 &&
+                        vc.front().flit.isHead() &&
+                        vc.front().arrival + 1 <= now;
+                    ranks[p * nvc + v] =
+                        requesting ? headRank(vc) : -1;
+                }
+            }
+            int winner = vaArb_[op].pick(ranks);
+            if (winner < 0)
+                break;
+            unsigned wp = static_cast<unsigned>(winner) / nvc;
+            unsigned wv = static_cast<unsigned>(winner) % nvc;
+            int ovc = outputs_[op].findFreeVc();
+            outputs_[op].vcs[ovc].allocated = true;
+            inputs_[wp].vcs[wv].outVc = ovc;
+            ++stats_.vaGrants;
+            --reqCount[op];
+        }
+    }
+}
+
+void
+Router::switchAllocation(Cycle now)
+{
+    const unsigned nvc = params_.numVcs;
+
+    // Local stage: per input port, pick the best ready VC (the LPA of
+    // Figure 9, modeled by rank arbitration).
+    struct Candidate
+    {
+        bool valid = false;
+        unsigned inVc = 0;
+        std::int64_t rank = -1;
+        unsigned outPort = 0;
+    };
+    std::array<Candidate, NumPorts> local{};
+
+    for (unsigned p = 0; p < NumPorts; ++p) {
+        auto ranks = std::span<std::int64_t>(saLocalRanks_.data(),
+                                             nvc);
+        bool any = false;
+        for (unsigned v = 0; v < nvc; ++v) {
+            ranks[v] = -1;
+            auto &vc = inputs_[p].vcs[v];
+            if (vc.empty() || !vc.routed || vc.outVc < 0)
+                continue;
+            const auto &bf = vc.front();
+            if (bf.arrival + params_.routerStages > now)
+                continue; // still in the pipeline
+            auto &ovc = outputs_[vc.outPort].vcs[vc.outVc];
+            if (ovc.credits == 0)
+                continue; // no downstream buffer space
+            ranks[v] = headRank(vc);
+            any = true;
+        }
+        if (!any)
+            continue;
+        int winner = saLocalArb_[p].pick(ranks);
+        if (winner >= 0) {
+            auto &vc = inputs_[p].vcs[winner];
+            local[p] = {true, static_cast<unsigned>(winner),
+                        ranks[winner], vc.outPort};
+        }
+    }
+
+    // Global stage: per output port, pick among input-port winners.
+    for (unsigned op = 0; op < NumPorts; ++op) {
+        auto &ranks = saGlobalRanks_;
+        bool any = false;
+        for (unsigned p = 0; p < NumPorts; ++p) {
+            ranks[p] = -1;
+            if (local[p].valid && local[p].outPort == op) {
+                ranks[p] = local[p].rank;
+                any = true;
+            }
+        }
+        if (!any)
+            continue;
+        int winner = saGlobalArb_[op].pick(ranks);
+        if (winner < 0)
+            continue;
+        for (unsigned p = 0; p < NumPorts; ++p)
+            if (local[p].valid && local[p].outPort == op &&
+                p != static_cast<unsigned>(winner))
+                ++stats_.saConflictLosses;
+
+        // Switch traversal for the winner.
+        unsigned p = static_cast<unsigned>(winner);
+        auto &vc = inputs_[p].vcs[local[p].inVc];
+        BufferedFlit bf = vc.fifo.front();
+        vc.fifo.pop_front();
+        --buffered_;
+
+        Flit out = bf.flit;
+        out.vc = static_cast<unsigned>(vc.outVc);
+
+        if (!outLinks_[op])
+            ocor_panic("router %u: traversal to unattached port %u",
+                       id_, op);
+        outLinks_[op]->sendFlit(out, now);
+        auto &ovc = outputs_[op].vcs[vc.outVc];
+        --ovc.credits;
+
+        // Return the freed buffer slot upstream.
+        if (inLinks_[p])
+            inLinks_[p]->sendCredit(local[p].inVc, now);
+
+        ++stats_.saGrants;
+        ++stats_.flitsRouted;
+        if (isLockProtocol(out.pkt->type))
+            ++stats_.lockFlitsRouted;
+
+        if (out.isTail()) {
+            ovc.allocated = false; // VC reusable by the next packet
+            vc.reset();
+        }
+    }
+}
+
+void
+Router::tick(Cycle now)
+{
+    deliverIncoming(now);
+    if (buffered_ == 0)
+        return; // nothing to route this cycle
+    vcAllocation(now);
+    switchAllocation(now);
+}
+
+} // namespace ocor

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Two-stage pipelined virtual-channel router with priority-based VC
+ * and switch allocation (Figure 7).
+ *
+ * Stage 1 performs Route Computation, VC Allocation and Switch
+ * Allocation in parallel; stage 2 is Switch Traversal. The pipeline
+ * is modeled by flit eligibility times: a flit that arrives at cycle
+ * t may be VC-allocated from t+1 and may traverse the switch from
+ * t+routerStages; traversal puts it on the output link (one more
+ * linkLatency cycle to the neighbor).
+ *
+ * Under OCOR, both VA and SA arbitrate by the Table-1 rank of the
+ * candidate packet (see core/priority.hh); switch allocation is
+ * two-staged exactly as Section 4.2 describes: a Local Priority
+ * Arbiter per input port selects the best local VC, then a global
+ * priority arbiter per output port selects among the port winners.
+ * With OCOR disabled, every rank is zero and all arbitration
+ * degrades to the baseline round-robin policy.
+ */
+
+#ifndef OCOR_NOC_ROUTER_HH
+#define OCOR_NOC_ROUTER_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/ocor_config.hh"
+#include "noc/arbiter.hh"
+#include "noc/input_unit.hh"
+#include "noc/link.hh"
+#include "noc/output_unit.hh"
+#include "noc/params.hh"
+#include "noc/routing.hh"
+
+namespace ocor
+{
+
+/** Per-router observability counters. */
+struct RouterStats
+{
+    std::uint64_t flitsRouted = 0;
+    std::uint64_t lockFlitsRouted = 0;
+    std::uint64_t saGrants = 0;
+    std::uint64_t saConflictLosses = 0;
+    std::uint64_t vaGrants = 0;
+};
+
+/** One mesh router. */
+class Router
+{
+  public:
+    Router(NodeId id, const MeshShape &mesh, const NocParams &params,
+           const OcorConfig &ocor);
+
+    /**
+     * Wire one port. @p in_link delivers flits *to* this router (we
+     * send credits back on it); @p out_link carries flits we send
+     * (credits for us arrive on it). Either may be null at mesh
+     * edges.
+     */
+    void attach(unsigned port, Link *in_link, Link *out_link);
+
+    /** Advance one cycle: credits, deliveries, VA, SA+ST. */
+    void tick(Cycle now);
+
+    NodeId id() const { return id_; }
+    const RouterStats &stats() const { return stats_; }
+
+    /** Buffered flit count (for drain checks and tests). */
+    unsigned occupancy() const;
+
+    /** Direct VC inspection for white-box tests. */
+    const VcState &vc(unsigned port, unsigned v) const
+    {
+        return inputs_[port].vcs[v];
+    }
+
+  private:
+    void deliverIncoming(Cycle now);
+    void vcAllocation(Cycle now);
+    void switchAllocation(Cycle now);
+
+    /** Table-1 rank of the packet at the head of an input VC. */
+    std::int64_t headRank(const VcState &vc) const;
+
+    NodeId id_;
+    MeshShape mesh_;
+    NocParams params_;
+    const OcorConfig &ocor_;
+
+    std::vector<InputUnit> inputs_;
+    std::vector<OutputUnit> outputs_;
+    std::array<Link *, NumPorts> inLinks_{};
+    std::array<Link *, NumPorts> outLinks_{};
+
+    /** VA arbiter per output port; SA: local per input, global per
+     * output. */
+    std::vector<Arbiter> vaArb_;
+    std::vector<Arbiter> saLocalArb_;
+    std::vector<Arbiter> saGlobalArb_;
+
+    /** Buffered flits across all input VCs (fast-path early out). */
+    unsigned buffered_ = 0;
+
+    /** Per-cycle scratch (avoids hot-loop allocation). */
+    static constexpr unsigned maxVcs = 16;
+    std::array<std::int64_t, NumPorts * maxVcs> vaRanks_{};
+    std::array<std::int64_t, maxVcs> saLocalRanks_{};
+    std::array<std::int64_t, NumPorts> saGlobalRanks_{};
+
+    RouterStats stats_;
+};
+
+} // namespace ocor
+
+#endif // OCOR_NOC_ROUTER_HH

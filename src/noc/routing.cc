@@ -1,0 +1,64 @@
+#include "noc/routing.hh"
+
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace ocor
+{
+
+const char *
+portName(unsigned port)
+{
+    switch (port) {
+      case PortNorth: return "N";
+      case PortEast: return "E";
+      case PortSouth: return "S";
+      case PortWest: return "W";
+      case PortLocal: return "L";
+      default: return "?";
+    }
+}
+
+NodeId
+MeshShape::neighbor(NodeId n, unsigned port) const
+{
+    unsigned x = xOf(n);
+    unsigned y = yOf(n);
+    switch (port) {
+      case PortNorth:
+        return y == 0 ? invalidNode : nodeAt(x, y - 1);
+      case PortSouth:
+        return y == height - 1 ? invalidNode : nodeAt(x, y + 1);
+      case PortWest:
+        return x == 0 ? invalidNode : nodeAt(x - 1, y);
+      case PortEast:
+        return x == width - 1 ? invalidNode : nodeAt(x + 1, y);
+      default:
+        return invalidNode;
+    }
+}
+
+unsigned
+MeshShape::hops(NodeId a, NodeId b) const
+{
+    int dx = static_cast<int>(xOf(a)) - static_cast<int>(xOf(b));
+    int dy = static_cast<int>(yOf(a)) - static_cast<int>(yOf(b));
+    return static_cast<unsigned>(std::abs(dx) + std::abs(dy));
+}
+
+unsigned
+xyRoute(const MeshShape &mesh, NodeId here, NodeId dst)
+{
+    if (here >= mesh.numNodes() || dst >= mesh.numNodes())
+        ocor_panic("xyRoute: node out of mesh (%u, %u)", here, dst);
+    unsigned hx = mesh.xOf(here), hy = mesh.yOf(here);
+    unsigned dx = mesh.xOf(dst), dy = mesh.yOf(dst);
+    if (hx != dx)
+        return dx > hx ? PortEast : PortWest;
+    if (hy != dy)
+        return dy > hy ? PortSouth : PortNorth;
+    return PortLocal;
+}
+
+} // namespace ocor

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Mesh topology coordinates and dimension-ordered (XY) routing.
+ *
+ * The target CMP (Section 3.1) organizes routers in a 2D mesh and
+ * routes X first, then Y, which is deadlock free with no extra VC
+ * restrictions.
+ */
+
+#ifndef OCOR_NOC_ROUTING_HH
+#define OCOR_NOC_ROUTING_HH
+
+#include "common/types.hh"
+
+namespace ocor
+{
+
+/** Router ports; Local connects the node's network interface. */
+enum Port : unsigned
+{
+    PortNorth = 0,
+    PortEast = 1,
+    PortSouth = 2,
+    PortWest = 3,
+    PortLocal = 4,
+    NumPorts = 5
+};
+
+/** Port name for traces and tests. */
+const char *portName(unsigned port);
+
+/** Rectangular mesh geometry and node-id mapping (row major). */
+struct MeshShape
+{
+    unsigned width = 8;
+    unsigned height = 8;
+
+    unsigned numNodes() const { return width * height; }
+    unsigned xOf(NodeId n) const { return n % width; }
+    unsigned yOf(NodeId n) const { return n / width; }
+    NodeId nodeAt(unsigned x, unsigned y) const
+    {
+        return y * width + x;
+    }
+
+    /** Neighbor of @p n through @p port, or invalidNode at an edge. */
+    NodeId neighbor(NodeId n, unsigned port) const;
+
+    /** Manhattan hop distance between two nodes. */
+    unsigned hops(NodeId a, NodeId b) const;
+};
+
+/**
+ * XY routing: output port at the router of @p here for a packet bound
+ * to @p dst (PortLocal when here == dst).
+ */
+unsigned xyRoute(const MeshShape &mesh, NodeId here, NodeId dst);
+
+} // namespace ocor
+
+#endif // OCOR_NOC_ROUTING_HH

@@ -1,0 +1,195 @@
+#include "os/lock_manager.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace ocor
+{
+
+LockManager::LockManager(NodeId node, const OsParams &params,
+                         SendFn send)
+    : node_(node), params_(params), send_(std::move(send))
+{}
+
+bool
+LockManager::heldNow(Addr lock_word) const
+{
+    auto it = locks_.find(lock_word);
+    return it != locks_.end() && it->second.held;
+}
+
+ThreadId
+LockManager::holderOf(Addr lock_word) const
+{
+    auto it = locks_.find(lock_word);
+    return it == locks_.end() ? invalidThread : it->second.holder;
+}
+
+std::size_t
+LockManager::queueLength(Addr lock_word) const
+{
+    auto it = locks_.find(lock_word);
+    return it == locks_.end() ? 0 : it->second.waitQueue.size();
+}
+
+std::size_t
+LockManager::pollerCount(Addr lock_word) const
+{
+    auto it = locks_.find(lock_word);
+    return it == locks_.end() ? 0 : it->second.pollers.size();
+}
+
+void
+LockManager::handle(const PacketPtr &pkt, Cycle now)
+{
+    delayed_.emplace_back(now + params_.homeLatency, pkt);
+}
+
+void
+LockManager::tick(Cycle now)
+{
+    while (!delayed_.empty() && delayed_.front().first <= now) {
+        PacketPtr pkt = delayed_.front().second;
+        delayed_.pop_front();
+        process(pkt, now);
+    }
+    while (!retries_.empty() && retries_.front().first <= now) {
+        PacketPtr pkt = retries_.front().second;
+        retries_.pop_front();
+        process(pkt, now);
+    }
+}
+
+void
+LockManager::process(const PacketPtr &pkt, Cycle now)
+{
+    LockState &lock = locks_[pkt->addr];
+
+    auto drop_poller = [&](ThreadId tid) {
+        std::erase_if(lock.pollers, [tid](const auto &p) {
+            return p.first == tid;
+        });
+    };
+    auto drop_waiter = [&](ThreadId tid) {
+        std::erase_if(lock.waitQueue, [tid](const auto &p) {
+            return p.first == tid;
+        });
+    };
+
+    switch (pkt->type) {
+      case MsgType::LockTry: {
+        ++stats_.tries;
+        MsgType resp_type;
+        if (!lock.held) {
+            lock.held = true;
+            lock.holder = pkt->thread;
+            resp_type = MsgType::LockGrant;
+            ++stats_.grants;
+            drop_poller(pkt->thread);
+            drop_waiter(pkt->thread);
+        } else {
+            resp_type = MsgType::LockFail;
+            ++stats_.fails;
+            // The loser keeps a cached (shared) copy of the lock
+            // line and polls it locally; remember to invalidate it
+            // on release (Figure 4).
+            bool known = std::any_of(
+                lock.pollers.begin(), lock.pollers.end(),
+                [&](const auto &p) { return p.first == pkt->thread; });
+            if (!known)
+                lock.pollers.emplace_back(pkt->thread, pkt->src);
+        }
+        auto resp = makePacket(resp_type, node_, pkt->src, pkt->addr);
+        resp->thread = pkt->thread;
+        // Responses inherit the request's urgency so a grant is not
+        // stuck behind background traffic on the way back.
+        resp->priority = pkt->priority;
+        send_(resp, now);
+        break;
+      }
+
+      case MsgType::LockRelease: {
+        ++stats_.releases;
+        if (!lock.held)
+            ocor_panic("LockManager %u: release of free lock %llx",
+                       node_,
+                       static_cast<unsigned long long>(pkt->addr));
+        if (lock.holder != pkt->thread)
+            ocor_panic("LockManager %u: release by non-holder t%u",
+                       node_, pkt->thread);
+        lock.held = false;
+        lock.holder = invalidThread;
+
+        // Invalidate every polling sharer's cached copy: the spinning
+        // threads race fresh atomic requests back (Figure 4a, T4/T5).
+        for (const auto &[tid, tnode] : lock.pollers) {
+            auto inv = makePacket(MsgType::LockFreeNotify, node_,
+                                  tnode, pkt->addr);
+            inv->thread = tid;
+            send_(inv, now);
+            ++stats_.notifies;
+        }
+
+        if (!lock.waitQueue.empty()) {
+            // Liveness safety net (see OsParams::wakeRetryDelay).
+            auto retry = makePacket(MsgType::FutexWake, node_, node_,
+                                    pkt->addr);
+            retries_.emplace_back(now + params_.wakeRetryDelay,
+                                  retry);
+        }
+        break;
+      }
+
+      case MsgType::FutexWait:
+        ++stats_.futexWaits;
+        drop_poller(pkt->thread);
+        if (lock.held && lock.holder == pkt->thread)
+            break; // a grant won the re-check race; never sleep
+        if (!lock.held) {
+            // Futex value re-check semantics: the lock was released
+            // between the budget expiry and the registration, so the
+            // waiter is granted immediately (it already context
+            // switched out, so it still pays the wakeup path).
+            ++stats_.immediateWakes;
+            lock.held = true;
+            lock.holder = pkt->thread;
+            auto wake = makePacket(MsgType::WakeNotify, node_,
+                                   pkt->src, pkt->addr);
+            wake->thread = pkt->thread;
+            wake->priority = pkt->priority;
+            send_(wake, now);
+        } else {
+            lock.waitQueue.emplace_back(pkt->thread, pkt->src);
+        }
+        break;
+
+      case MsgType::FutexWake:
+        // Queue-spinlock semantics: the woken head waiter *secures*
+        // the lock (Section 2.2). The wakeup request only succeeds
+        // when the lock is still free by the time it reaches the
+        // home node — a spinning thread whose LockTry arrived first
+        // has stolen it, and the sleeper stays parked until the next
+        // unlock (under OCOR this race is deliberately biased by the
+        // Wakeup-Request-Last rule).
+        if (!lock.held && !lock.waitQueue.empty()) {
+            auto [tid, tnode] = lock.waitQueue.front();
+            lock.waitQueue.pop_front();
+            ++stats_.wakes;
+            lock.held = true;
+            lock.holder = tid;
+            auto wake = makePacket(MsgType::WakeNotify, node_, tnode,
+                                   pkt->addr);
+            wake->thread = tid;
+            wake->priority = pkt->priority; // wakeup class (lowest)
+            send_(wake, now);
+        }
+        break;
+
+      default:
+        ocor_panic("LockManager %u: unexpected message %s", node_,
+                   msgTypeName(pkt->type));
+    }
+}
+
+} // namespace ocor

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Lock-word home: atomic try-lock serialization point and futex wait
+ * queue.
+ *
+ * Every lock word is serialized at its home L2 bank (Figure 4): the
+ * arrival order of LockTry packets decides who wins — which is the
+ * very ordering OCOR's priority-based NoC scheduling manipulates.
+ * The manager also hosts the per-lock futex queue that sys_futex
+ * (FUTEX_WAIT / FUTEX_WAKE) operates on.
+ */
+
+#ifndef OCOR_OS_LOCK_MANAGER_HH
+#define OCOR_OS_LOCK_MANAGER_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+#include <map>
+
+#include "common/types.hh"
+#include "noc/packet.hh"
+#include "os/params.hh"
+
+namespace ocor
+{
+
+/** Lock-manager observability counters. */
+struct LockMgrStats
+{
+    std::uint64_t tries = 0;
+    std::uint64_t grants = 0;
+    std::uint64_t fails = 0;
+    std::uint64_t releases = 0;
+    std::uint64_t futexWaits = 0;
+    std::uint64_t immediateWakes = 0; ///< lock free at FUTEX_WAIT time
+    std::uint64_t wakes = 0;
+    std::uint64_t notifies = 0; ///< release invalidations sent
+};
+
+/** Home-side state of the locks whose words live on this node. */
+class LockManager
+{
+  public:
+    LockManager(NodeId node, const OsParams &params, SendFn send);
+
+    /** Lock-protocol traffic addressed to this home node. */
+    void handle(const PacketPtr &pkt, Cycle now);
+
+    /** Advance: process messages past the home access latency. */
+    void tick(Cycle now);
+
+    bool idle() const { return delayed_.empty() && retries_.empty(); }
+    const LockMgrStats &stats() const { return stats_; }
+
+    // --- oracle accessors (simulation-level accounting only) --------
+    bool heldNow(Addr lock_word) const;
+    ThreadId holderOf(Addr lock_word) const;
+    std::size_t queueLength(Addr lock_word) const;
+    std::size_t pollerCount(Addr lock_word) const;
+
+  private:
+    struct LockState
+    {
+        bool held = false;
+        ThreadId holder = invalidThread;
+        /** Sleeping waiters: (thread, its node), FIFO. */
+        std::deque<std::pair<ThreadId, NodeId>> waitQueue;
+
+        /** Spinning threads polling a cached copy of the lock line:
+         * they get a LockFreeNotify invalidation on release. */
+        std::vector<std::pair<ThreadId, NodeId>> pollers;
+    };
+
+    void process(const PacketPtr &pkt, Cycle now);
+
+    NodeId node_;
+    OsParams params_;
+    SendFn send_;
+
+    std::map<Addr, LockState> locks_;
+    std::deque<std::pair<Cycle, PacketPtr>> delayed_;
+    std::deque<std::pair<Cycle, PacketPtr>> retries_;
+
+    LockMgrStats stats_;
+};
+
+} // namespace ocor
+
+#endif // OCOR_OS_LOCK_MANAGER_HH

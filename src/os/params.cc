@@ -1,0 +1,17 @@
+#include "os/params.hh"
+
+namespace ocor
+{
+
+const char *
+lockModeName(LockMode mode)
+{
+    switch (mode) {
+      case LockMode::QueueSpinlock: return "queue-spinlock";
+      case LockMode::PureSpin: return "spinlock";
+      case LockMode::PureSleep: return "queueing-lock";
+      default: return "?";
+    }
+}
+
+} // namespace ocor

@@ -1,0 +1,21 @@
+#include "os/pcb.hh"
+
+namespace ocor
+{
+
+const char *
+threadStateName(ThreadState s)
+{
+    switch (s) {
+      case ThreadState::Running: return "Running";
+      case ThreadState::Spinning: return "Spinning";
+      case ThreadState::SleepPrep: return "SleepPrep";
+      case ThreadState::Sleeping: return "Sleeping";
+      case ThreadState::Waking: return "Waking";
+      case ThreadState::InCS: return "InCS";
+      case ThreadState::Finished: return "Finished";
+      default: return "?";
+    }
+}
+
+} // namespace ocor

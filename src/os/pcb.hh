@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Process Control Block: per-thread OS state.
+ *
+ * Section 4.1 extends the Linux PCB with a PROG field counting the
+ * critical sections a thread has completed; the queue spinlock writes
+ * PROG and the current RTR into core-local registers that the NI
+ * reads when packetizing locking requests.
+ */
+
+#ifndef OCOR_OS_PCB_HH
+#define OCOR_OS_PCB_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace ocor
+{
+
+/** Lifecycle of a simulated thread. */
+enum class ThreadState : std::uint8_t
+{
+    Running,    ///< executing parallel (non-critical) work
+    Spinning,   ///< queue spinlock, low-overhead spinning phase
+    SleepPrep,  ///< preparing to sleep (futex registration path)
+    Sleeping,   ///< parked in the lock queue, core idle
+    Waking,     ///< context-switching back in after WakeNotify
+    InCS,       ///< executing the critical section
+    Finished    ///< program complete
+};
+
+/** Name of a thread state (traces and tests). */
+const char *threadStateName(ThreadState s);
+
+/** Raw per-thread counters (aggregated by sim/metrics). */
+struct ThreadCounters
+{
+    std::uint64_t computeCycles = 0;
+    std::uint64_t csCycles = 0;
+    /** Blocked while the lock was held by another thread. */
+    std::uint64_t blockedHeldCycles = 0;
+    /** Blocked while the lock was free: pure competition overhead. */
+    std::uint64_t blockedIdleCycles = 0;
+    std::uint64_t acquisitions = 0;
+    std::uint64_t spinWins = 0;   ///< acquired while still spinning
+    std::uint64_t sleepWins = 0;  ///< acquired after entering sleep
+    std::uint64_t retries = 0;    ///< failed atomic_try_lock attempts
+    std::uint64_t sleeps = 0;     ///< times the sleeping phase began
+};
+
+/** Per-thread OS bookkeeping. */
+struct Pcb
+{
+    ThreadId tid = invalidThread;
+    NodeId node = invalidNode;
+    ThreadState state = ThreadState::Running;
+
+    /** PROG: completed critical sections (Algorithm 2, line 3). */
+    std::uint64_t prog = 0;
+
+    /** Core-local registers written by the queue spinlock
+     * (Algorithm 1, line 6) and read by the NI when stamping
+     * priority fields. */
+    unsigned regRtr = 0;
+    std::uint64_t regProg = 0;
+
+    ThreadCounters counters;
+};
+
+} // namespace ocor
+
+#endif // OCOR_OS_PCB_HH

@@ -1,0 +1,256 @@
+#include "os/qspinlock.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "core/priority.hh"
+
+namespace ocor
+{
+
+QSpinlock::QSpinlock(Pcb &pcb, const OcorConfig &ocor,
+                     const OsParams &os, const AddressMap &amap,
+                     SendFn send)
+    : pcb_(pcb), ocor_(ocor), os_(os), amap_(amap),
+      send_(std::move(send))
+{}
+
+Cycle
+QSpinlock::sleepDeadline() const
+{
+    switch (os_.lockMode) {
+      case LockMode::PureSpin:
+        return neverCycle; // a spinlock never sleeps
+      case LockMode::PureSleep:
+        return spinStart_; // a queueing lock parks immediately
+      default:
+        return spinStart_
+            + static_cast<Cycle>(ocor_.maxSpinCount)
+            * os_.retryInterval;
+    }
+}
+
+void
+QSpinlock::beginSleepPrep(Cycle now)
+{
+    // Spin budget exhausted: fall into the sleeping phase.
+    everSlept_ = true;
+    ++pcb_.counters.sleeps;
+    pcb_.state = ThreadState::SleepPrep;
+    timer_ = Timer::SleepPrep;
+    timerAt_ = now + os_.sleepPrepCycles;
+}
+
+unsigned
+QSpinlock::currentRtr(Cycle now) const
+{
+    // One retry of the budget burns every retryInterval cycles of
+    // local polling (Algorithm 1's loop under a cached lock line).
+    Cycle elapsed = now >= spinStart_ ? now - spinStart_ : 0;
+    std::uint64_t burned = elapsed / os_.retryInterval;
+    if (burned >= ocor_.maxSpinCount)
+        return 1;
+    return static_cast<unsigned>(ocor_.maxSpinCount - burned);
+}
+
+void
+QSpinlock::acquire(Addr lock_word, Cycle now, AcquiredFn done)
+{
+    if (active_ || holding_)
+        ocor_panic("QSpinlock t%u: acquire while busy", pcb_.tid);
+    active_ = true;
+    lock_ = lock_word;
+    spinStart_ = now;
+    everSlept_ = false;
+    tryInFlight_ = false;
+    done_ = std::move(done);
+    pcb_.state = ThreadState::Spinning;
+    issueTry(now);
+}
+
+void
+QSpinlock::issueTry(Cycle now)
+{
+    // Algorithm 1, lines 5-7: compute RTR, expose it (and PROG) to
+    // the NI through core-local registers, then try the lock.
+    pcb_.regRtr = currentRtr(now);
+    pcb_.regProg = pcb_.prog;
+    tryInFlight_ = true;
+
+    auto pkt = makePacket(MsgType::LockTry, pcb_.node,
+                          amap_.homeOf(lock_), lock_);
+    pkt->thread = pcb_.tid;
+    pkt->priority = makePriority(ocor_, PriorityClass::LockTry,
+                                 pcb_.regRtr, pcb_.regProg);
+    send_(pkt, now);
+}
+
+void
+QSpinlock::enterCs(Cycle now)
+{
+    active_ = false;
+    holding_ = true;
+    tryInFlight_ = false;
+    timer_ = Timer::None;
+    pcb_.state = ThreadState::InCS;
+    ++pcb_.counters.acquisitions;
+    if (everSlept_)
+        ++pcb_.counters.sleepWins;
+    else
+        ++pcb_.counters.spinWins;
+    if (done_) {
+        auto fn = std::move(done_);
+        done_ = nullptr;
+        fn(now);
+    }
+}
+
+void
+QSpinlock::handle(const PacketPtr &pkt, Cycle now)
+{
+    if (pkt->thread != pcb_.tid)
+        ocor_panic("QSpinlock t%u: message for t%u", pcb_.tid,
+                   pkt->thread);
+
+    switch (pkt->type) {
+      case MsgType::LockGrant:
+        if (!active_)
+            ocor_panic("QSpinlock t%u: unexpected grant", pcb_.tid);
+        // A grant can land while the thread is preparing to sleep
+        // (the futex value re-check window); it is accepted in every
+        // waiting state.
+        enterCs(now);
+        break;
+
+      case MsgType::LockFail: {
+        if (!active_) {
+            ocor_warn("QSpinlock t%u: stale LockFail", pcb_.tid);
+            break;
+        }
+        tryInFlight_ = false;
+        if (pcb_.state != ThreadState::Spinning)
+            break; // already heading to sleep
+        if (now >= sleepDeadline()) {
+            beginSleepPrep(now);
+            break;
+        }
+        // Keep polling locally and revalidate remotely at the
+        // remote-try cadence (capped by the budget deadline).
+        timer_ = Timer::Retry;
+        timerAt_ = std::min(now + os_.remoteTryInterval,
+                            sleepDeadline());
+        break;
+      }
+
+      case MsgType::LockFreeNotify:
+        // The home invalidated our cached lock line: the lock was
+        // released. Race a fresh atomic locking request immediately
+        // (Fig. 4a) instead of waiting out the remote-try timer.
+        if (active_ && pcb_.state == ThreadState::Spinning &&
+            !tryInFlight_) {
+            timer_ = Timer::None;
+            ++pcb_.counters.retries;
+            issueTry(now);
+        }
+        break;
+
+      case MsgType::WakeNotify:
+        // The home node woke this thread *and* reserved the lock for
+        // it (queue-spinlock: the woken waiter secures the lock).
+        if (!active_ || pcb_.state != ThreadState::Sleeping)
+            ocor_panic("QSpinlock t%u: stray WakeNotify in %s",
+                       pcb_.tid, threadStateName(pcb_.state));
+        pcb_.state = ThreadState::Waking;
+        timer_ = Timer::Wakeup;
+        timerAt_ = now + os_.wakeupCycles;
+        break;
+
+      default:
+        ocor_panic("QSpinlock t%u: unexpected message %s", pcb_.tid,
+                   msgTypeName(pkt->type));
+    }
+}
+
+void
+QSpinlock::tick(Cycle now)
+{
+    if (pendingWakeAt_ != neverCycle && pendingWakeAt_ <= now) {
+        pendingWakeAt_ = neverCycle;
+        auto wake = makePacket(MsgType::FutexWake, pcb_.node,
+                               amap_.homeOf(pendingWakeLock_),
+                               pendingWakeLock_);
+        wake->thread = pcb_.tid;
+        wake->priority = makePriority(ocor_, PriorityClass::Wakeup,
+                                      1, pcb_.prog);
+        send_(wake, now);
+    }
+
+    if (timer_ == Timer::None || timerAt_ > now)
+        return;
+    Timer t = timer_;
+    timer_ = Timer::None;
+
+    switch (t) {
+      case Timer::Retry:
+        if (!active_ || pcb_.state != ThreadState::Spinning ||
+            tryInFlight_)
+            break;
+        if (now >= sleepDeadline()) {
+            beginSleepPrep(now);
+            break;
+        }
+        ++pcb_.counters.retries;
+        issueTry(now);
+        break;
+
+      case Timer::SleepPrep: {
+        if (!active_)
+            break; // grant slipped in during the re-check window
+        // sys_futex(FUTEX_WAIT): register in the home lock queue.
+        pcb_.state = ThreadState::Sleeping;
+        auto pkt = makePacket(MsgType::FutexWait, pcb_.node,
+                              amap_.homeOf(lock_), lock_);
+        pkt->thread = pcb_.tid;
+        pkt->priority = makePriority(ocor_, PriorityClass::Wakeup,
+                                     1, pcb_.prog);
+        send_(pkt, now);
+        break;
+      }
+
+      case Timer::Wakeup:
+        // Back on the core, already owning the lock: enter the CS.
+        if (active_)
+            enterCs(now);
+        break;
+
+      default:
+        break;
+    }
+}
+
+void
+QSpinlock::release(Cycle now)
+{
+    if (!holding_)
+        ocor_panic("QSpinlock t%u: release without hold", pcb_.tid);
+    holding_ = false;
+
+    // Algorithm 2: atomic_release, PROG++, then FUTEX_WAKE with the
+    // lowest priority (Table 1 rule 4) after the syscall delay.
+    auto rel = makePacket(MsgType::LockRelease, pcb_.node,
+                          amap_.homeOf(lock_), lock_);
+    rel->thread = pcb_.tid;
+    rel->priority = makePriority(ocor_, PriorityClass::LockRelease,
+                                 1, pcb_.prog);
+    send_(rel, now);
+
+    ++pcb_.prog;
+    pcb_.regProg = pcb_.prog;
+
+    pendingWakeLock_ = lock_;
+    pendingWakeAt_ = now + os_.futexWakeDelay;
+
+    pcb_.state = ThreadState::Running;
+}
+
+} // namespace ocor

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Queue-spinlock client: the thread-side lock/unlock state machine of
+ * Algorithms 1 and 2 under cache coherence (Figure 4).
+ *
+ * Lock path. The first atomic_try_lock is a network round trip to
+ * the lock word's home bank. On failure the thread spins *locally*
+ * on its cached copy of the lock line (test-and-test-and-set style):
+ * the spin loop burns one retry of the MAX_SPIN_COUNT budget every
+ * retryInterval cycles and generates no network traffic. When the
+ * holder releases, the home invalidates every polling sharer
+ * (LockFreeNotify, the invalidation of Figure 4a at T4); each
+ * spinner then re-issues an atomic locking request, and the burst of
+ * requests races through the NoC — the race OCOR's router
+ * prioritization decides. Before each request the enhanced primitive
+ * computes RTR = MAX_SPIN_COUNT - burned retries and stamps (RTR,
+ * PROG) into the packet via the core-local registers.
+ *
+ * When the budget is exhausted the thread pays the sleep-preparation
+ * cost, registers through sys_futex(FUTEX_WAIT), and sleeps until
+ * the home wakes it with the lock already reserved (queue-spinlock
+ * handover), after which it pays the wakeup cost and enters the CS.
+ *
+ * Unlock path: atomic_release (LockRelease), PROG++, then
+ * sys_futex(FUTEX_WAKE) after the syscall delay; the FUTEX_WAKE
+ * packet carries the lowest priority under OCOR (Table 1 rule 4).
+ */
+
+#ifndef OCOR_OS_QSPINLOCK_HH
+#define OCOR_OS_QSPINLOCK_HH
+
+#include <functional>
+
+#include "common/types.hh"
+#include "core/ocor_config.hh"
+#include "mem/address_map.hh"
+#include "noc/packet.hh"
+#include "os/params.hh"
+#include "os/pcb.hh"
+
+namespace ocor
+{
+
+/** Per-thread queue-spinlock state machine. */
+class QSpinlock
+{
+  public:
+    using AcquiredFn = std::function<void(Cycle)>;
+
+    QSpinlock(Pcb &pcb, const OcorConfig &ocor, const OsParams &os,
+              const AddressMap &amap, SendFn send);
+
+    /** Begin acquiring @p lock_word; @p done fires on entry. */
+    void acquire(Addr lock_word, Cycle now, AcquiredFn done);
+
+    /** Release the currently held lock (Algorithm 2). */
+    void release(Cycle now);
+
+    /** Lock-protocol traffic addressed to this thread. */
+    void handle(const PacketPtr &pkt, Cycle now);
+
+    /** Advance timed transitions (budget, sleep prep, wakeup). */
+    void tick(Cycle now);
+
+    bool waiting() const { return active_; }
+    bool holding() const { return holding_; }
+    Addr currentLock() const { return lock_; }
+    bool everSleptThisWait() const { return everSlept_; }
+
+    /** Current RTR value (Algorithm 1 line 5). */
+    unsigned currentRtr(Cycle now) const;
+
+  private:
+    enum class Timer : std::uint8_t
+    {
+        None,
+        Retry,     ///< next remote revalidation (or budget expiry)
+        SleepPrep, ///< context switch out completes
+        Wakeup     ///< context switch in completes
+    };
+
+    void issueTry(Cycle now);
+    void enterCs(Cycle now);
+    void beginSleepPrep(Cycle now);
+    Cycle sleepDeadline() const;
+
+    Pcb &pcb_;
+    const OcorConfig &ocor_;
+    OsParams os_;
+    const AddressMap &amap_;
+    SendFn send_;
+
+    bool active_ = false;
+    bool holding_ = false;
+    Addr lock_ = 0;
+    Cycle spinStart_ = 0;   ///< budget anchor
+    bool tryInFlight_ = false;
+    bool everSlept_ = false;
+    AcquiredFn done_;
+
+    Timer timer_ = Timer::None;
+    Cycle timerAt_ = neverCycle;
+
+    /** Deferred sys_futex(FUTEX_WAKE) after a release. */
+    Cycle pendingWakeAt_ = neverCycle;
+    Addr pendingWakeLock_ = 0;
+};
+
+} // namespace ocor
+
+#endif // OCOR_OS_QSPINLOCK_HH

@@ -1,0 +1,161 @@
+#include "sim/result_cache.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace ocor
+{
+
+std::string
+CacheKey::toString() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%s\t%u\t%d\t%u\t%llu\t%u\t%u",
+                  benchmark.c_str(), threads, ocorEnabled ? 1 : 0,
+                  iterations,
+                  static_cast<unsigned long long>(seed), rtrLevels,
+                  ruleMask);
+    return buf;
+}
+
+CacheKey
+makeCacheKey(const BenchmarkProfile &profile,
+             const ExperimentConfig &exp, bool ocor_enabled)
+{
+    CacheKey key;
+    key.benchmark = profile.name;
+    key.threads = exp.threads;
+    key.ocorEnabled = ocor_enabled;
+    key.iterations = exp.iterationsOverride;
+    key.seed = exp.seed;
+    if (!ocor_enabled) {
+        // A baseline run is independent of every OCOR knob: use the
+        // default-config key so level/rule sweeps reuse one
+        // simulation (CacheKey's defaults == OcorConfig's defaults).
+        return key;
+    }
+    const OcorConfig &oc = exp.ocorOverrideSet
+        ? exp.ocorOverride
+        : OcorConfig{};
+    key.rtrLevels = oc.numRtrLevels;
+    key.ruleMask = (oc.ruleSlowProgressFirst ? 1u : 0)
+        | (oc.ruleLockFirst ? 2u : 0)
+        | (oc.ruleLeastRtrFirst ? 4u : 0)
+        | (oc.ruleWakeupLast ? 8u : 0);
+    return key;
+}
+
+ResultCache::ResultCache(std::string path) : path_(std::move(path)) {}
+
+namespace
+{
+
+std::string
+metricsToTsv(const RunMetrics &m)
+{
+    ThreadCounters sum;
+    for (const auto &t : m.perThread) {
+        sum.computeCycles += t.computeCycles;
+        sum.csCycles += t.csCycles;
+        sum.blockedHeldCycles += t.blockedHeldCycles;
+        sum.blockedIdleCycles += t.blockedIdleCycles;
+        sum.acquisitions += t.acquisitions;
+        sum.spinWins += t.spinWins;
+        sum.sleepWins += t.sleepWins;
+        sum.retries += t.retries;
+        sum.sleeps += t.sleeps;
+    }
+    std::ostringstream os;
+    os << m.roiFinish << '\t' << m.threads << '\t'
+       << sum.computeCycles << '\t' << sum.csCycles << '\t'
+       << sum.blockedHeldCycles << '\t' << sum.blockedIdleCycles
+       << '\t' << sum.acquisitions << '\t' << sum.spinWins << '\t'
+       << sum.sleepWins << '\t' << sum.retries << '\t' << sum.sleeps
+       << '\t' << m.packetsInjected << '\t' << m.flitsInjected
+       << '\t' << m.lockPacketsInjected << '\t'
+       << m.avgPacketLatency << '\t' << m.avgLockPacketLatency
+       << '\t' << m.avgDataPacketLatency;
+    return os.str();
+}
+
+std::optional<RunMetrics>
+metricsFromTsv(std::istringstream &is)
+{
+    RunMetrics m;
+    ThreadCounters sum;
+    if (!(is >> m.roiFinish >> m.threads >> sum.computeCycles
+             >> sum.csCycles >> sum.blockedHeldCycles
+             >> sum.blockedIdleCycles >> sum.acquisitions
+             >> sum.spinWins >> sum.sleepWins >> sum.retries
+             >> sum.sleeps >> m.packetsInjected >> m.flitsInjected
+             >> m.lockPacketsInjected >> m.avgPacketLatency
+             >> m.avgLockPacketLatency >> m.avgDataPacketLatency))
+        return std::nullopt;
+    // Aggregates are stored as one synthetic per-thread entry; every
+    // derived percentage works off sums and m.threads.
+    m.perThread.push_back(sum);
+    return m;
+}
+
+} // namespace
+
+std::optional<RunMetrics>
+ResultCache::lookup(const CacheKey &key) const
+{
+    std::ifstream in(path_);
+    if (!in)
+        return std::nullopt;
+    const std::string wanted = key.toString();
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind(wanted + "\t", 0) != 0)
+            continue;
+        std::istringstream is(line.substr(wanted.size() + 1));
+        if (auto m = metricsFromTsv(is))
+            return m;
+    }
+    return std::nullopt;
+}
+
+void
+ResultCache::store(const CacheKey &key, const RunMetrics &metrics)
+{
+    std::ofstream out(path_, std::ios::app);
+    if (!out) {
+        ocor_warn("ResultCache: cannot write %s", path_.c_str());
+        return;
+    }
+    out << key.toString() << '\t' << metricsToTsv(metrics) << '\n';
+}
+
+RunMetrics
+ResultCache::get(const BenchmarkProfile &profile,
+                 const ExperimentConfig &exp, bool ocor_enabled)
+{
+    CacheKey key = makeCacheKey(profile, exp, ocor_enabled);
+    if (auto hit = lookup(key))
+        return *hit;
+    RunMetrics m = runOnce(profile, exp, ocor_enabled);
+    store(key, m);
+    return m;
+}
+
+BenchmarkResult
+ResultCache::getComparison(const BenchmarkProfile &profile,
+                           const ExperimentConfig &exp)
+{
+    BenchmarkResult r;
+    r.name = profile.name;
+    r.suite = profile.suite;
+    r.highCsRate = profile.highCsRate;
+    r.highNetUtil = profile.highNetUtil;
+    r.base = get(profile, exp, false);
+    r.ocor = get(profile, exp, true);
+    return r;
+}
+
+} // namespace ocor

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * On-disk cache of experiment results.
+ *
+ * Several benches (Fig. 11, 12, 13, 14, Table 3) are different views
+ * of the same 25-benchmark Original-vs-OCOR sweep; a full 64-core
+ * run takes minutes, so results are memoized in a TSV file keyed by
+ * every input that affects the outcome. Delete the file (default
+ * `ocor_results.tsv` in the working directory) to force re-runs.
+ */
+
+#ifndef OCOR_SIM_RESULT_CACHE_HH
+#define OCOR_SIM_RESULT_CACHE_HH
+
+#include <optional>
+#include <string>
+
+#include "sim/experiment.hh"
+
+namespace ocor
+{
+
+/** Everything that identifies one cached run. */
+struct CacheKey
+{
+    std::string benchmark;
+    unsigned threads = 64;
+    bool ocorEnabled = false;
+    unsigned iterations = 0; ///< 0 = profile default
+    std::uint64_t seed = 1;
+    unsigned rtrLevels = 8;
+    unsigned ruleMask = 0xf; ///< bit per Table-1 rule
+
+    std::string toString() const;
+};
+
+/** Build the key for an experiment configuration. */
+CacheKey makeCacheKey(const BenchmarkProfile &profile,
+                      const ExperimentConfig &exp, bool ocor_enabled);
+
+/** TSV-backed memo of RunMetrics aggregates. */
+class ResultCache
+{
+  public:
+    explicit ResultCache(std::string path = "ocor_results.tsv");
+
+    std::optional<RunMetrics> lookup(const CacheKey &key) const;
+    void store(const CacheKey &key, const RunMetrics &metrics);
+
+    /**
+     * Run-or-recall one configuration; stores on miss. This is the
+     * entry point every bench binary uses.
+     */
+    RunMetrics get(const BenchmarkProfile &profile,
+                   const ExperimentConfig &exp, bool ocor_enabled);
+
+    /** Paired Original/OCOR result through the cache. */
+    BenchmarkResult getComparison(const BenchmarkProfile &profile,
+                                  const ExperimentConfig &exp);
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+} // namespace ocor
+
+#endif // OCOR_SIM_RESULT_CACHE_HH

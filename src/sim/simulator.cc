@@ -1,0 +1,86 @@
+#include "sim/simulator.hh"
+
+#include "common/log.hh"
+
+namespace ocor
+{
+
+Simulator::Simulator(const SystemConfig &cfg,
+                     std::vector<Program> programs,
+                     const BgTrafficConfig &bg, Options opts)
+    : cfg_(cfg), opts_(opts)
+{
+    system_ = std::make_unique<System>(cfg, std::move(programs), bg);
+    if (opts_.timelineHorizon > 0) {
+        unsigned t = opts_.timelineThreads == 0
+            ? system_->numThreads()
+            : std::min(opts_.timelineThreads, system_->numThreads());
+        timeline_ = Timeline(t, opts_.timelineHorizon);
+    }
+}
+
+void
+Simulator::accountCycle(Cycle now)
+{
+    const unsigned threads = system_->numThreads();
+    for (ThreadId t = 0; t < threads; ++t) {
+        Pcb &pcb = system_->pcb(t);
+        switch (pcb.state) {
+          case ThreadState::Running:
+            ++pcb.counters.computeCycles;
+            break;
+          case ThreadState::InCS:
+            ++pcb.counters.csCycles;
+            break;
+          case ThreadState::Spinning:
+          case ThreadState::SleepPrep:
+          case ThreadState::Sleeping:
+          case ThreadState::Waking: {
+            // Equation-1 decomposition: is the contended lock held
+            // (a predecessor is inside the CS) or idle (pure
+            // competition overhead)?
+            Addr lock = system_->qspinlock(t).currentLock();
+            if (system_->lockHolderInCs(lock))
+                ++pcb.counters.blockedHeldCycles;
+            else
+                ++pcb.counters.blockedIdleCycles;
+            break;
+          }
+          case ThreadState::Finished:
+            break;
+        }
+        if (timeline_.enabled())
+            timeline_.record(t, now, segClassOf(pcb.state));
+    }
+}
+
+RunMetrics
+Simulator::run()
+{
+    for (now_ = 0; now_ < cfg_.maxCycles; ++now_) {
+        system_->tick(now_);
+        accountCycle(now_);
+        if (system_->allFinished())
+            break;
+    }
+    if (now_ >= cfg_.maxCycles)
+        ocor_warn("simulation hit maxCycles (%llu) before finishing",
+                  static_cast<unsigned long long>(cfg_.maxCycles));
+
+    RunMetrics m;
+    m.roiFinish = now_;
+    m.threads = system_->numThreads();
+    for (ThreadId t = 0; t < m.threads; ++t)
+        m.perThread.push_back(system_->pcb(t).counters);
+
+    Network &net = system_->network();
+    m.packetsInjected = net.totalPacketsInjected();
+    m.flitsInjected = net.totalFlitsInjected();
+    m.lockPacketsInjected = net.totalLockPacketsInjected();
+    m.avgPacketLatency = net.stats().packetLatency.mean();
+    m.avgLockPacketLatency = net.stats().lockPacketLatency.mean();
+    m.avgDataPacketLatency = net.stats().dataPacketLatency.mean();
+    return m;
+}
+
+} // namespace ocor

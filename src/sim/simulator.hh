@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Simulator: the cycle loop, the per-cycle COH/CS/compute accounting
+ * oracle, ROI bookkeeping and optional timeline recording.
+ */
+
+#ifndef OCOR_SIM_SIMULATOR_HH
+#define OCOR_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/metrics.hh"
+#include "sim/system.hh"
+
+namespace ocor
+{
+
+/** Optional simulation-run features. */
+struct SimOptions
+{
+    /** Record per-cycle activity for the first N cycles... */
+    Cycle timelineHorizon = 0;
+    /** ...of the first M threads (0 = all). */
+    unsigned timelineThreads = 0;
+};
+
+/** Drives one System instance through its region of interest. */
+class Simulator
+{
+  public:
+    using Options = SimOptions;
+
+    Simulator(const SystemConfig &cfg, std::vector<Program> programs,
+              const BgTrafficConfig &bg, Options opts = {});
+
+    /**
+     * Run until every thread finishes (or maxCycles). Returns the
+     * aggregated metrics; per-thread counters are also left in the
+     * PCBs for white-box inspection.
+     */
+    RunMetrics run();
+
+    System &system() { return *system_; }
+    const Timeline &timeline() const { return timeline_; }
+
+    /** Current simulated cycle (valid after run()). */
+    Cycle now() const { return now_; }
+
+  private:
+    void accountCycle(Cycle now);
+
+    SystemConfig cfg_;
+    std::unique_ptr<System> system_;
+    Options opts_;
+    Timeline timeline_;
+    Cycle now_ = 0;
+};
+
+} // namespace ocor
+
+#endif // OCOR_SIM_SIMULATOR_HH

@@ -1,0 +1,188 @@
+#include "sim/system.hh"
+
+#include "common/log.hh"
+
+namespace ocor
+{
+
+System::System(const SystemConfig &cfg, std::vector<Program> programs,
+               const BgTrafficConfig &bg)
+    : cfg_(cfg), amap_(cfg.mesh, cfg.mem.lineBytes)
+{
+    cfg_.validate();
+    if (programs.size() != cfg_.numThreads)
+        ocor_fatal("System: %zu programs for %u threads",
+                   programs.size(), cfg_.numThreads);
+
+    network_ = std::make_unique<Network>(cfg_.mesh, cfg_.noc,
+                                         cfg_.ocor);
+
+    SendFn send = [this](const PacketPtr &pkt, Cycle now) {
+        network_->send(pkt, now);
+    };
+
+    const unsigned nodes = cfg_.mesh.numNodes();
+    for (NodeId n = 0; n < nodes; ++n) {
+        l1s_.push_back(std::make_unique<L1Cache>(n, amap_, cfg_.mem,
+                                                 send));
+        l2s_.push_back(std::make_unique<L2Directory>(n, amap_,
+                                                     cfg_.mem, send));
+        lockMgrs_.push_back(
+            std::make_unique<LockManager>(n, cfg_.os, send));
+        network_->setNodeSink(n,
+            [this, n](const PacketPtr &pkt, Cycle now) {
+                dispatch(n, pkt, now);
+            });
+    }
+
+    for (NodeId n : amap_.mcNodes())
+        mcs_[n] = std::make_unique<MemController>(n, cfg_.mem, send);
+
+    for (ThreadId t = 0; t < cfg_.numThreads; ++t) {
+        auto pcb = std::make_unique<Pcb>();
+        pcb->tid = t;
+        pcb->node = t; // thread t pinned to node t
+        pcbs_.push_back(std::move(pcb));
+
+        qspins_.push_back(std::make_unique<QSpinlock>(
+            *pcbs_[t], cfg_.ocor, cfg_.os, amap_, send));
+
+        cores_.push_back(std::make_unique<Core>(
+            *pcbs_[t], *l1s_[t], *qspins_[t], std::move(programs[t]),
+            bg, cfg_.seed + 7919 * (t + 1), cfg_.lockRegionBase,
+            cfg_.mem.lineBytes));
+    }
+}
+
+void
+System::dispatch(NodeId node, const PacketPtr &pkt, Cycle now)
+{
+    switch (pkt->type) {
+      // Home-side coherence + memory fills.
+      case MsgType::GetS:
+      case MsgType::GetM:
+      case MsgType::PutM:
+      case MsgType::PutE:
+      case MsgType::InvAck:
+      case MsgType::FetchResp:
+      case MsgType::Unblock:
+      case MsgType::MemResp:
+        l2s_[node]->handle(pkt, now);
+        break;
+
+      // L1-side coherence.
+      case MsgType::Inv:
+      case MsgType::Fetch:
+      case MsgType::Data:
+      case MsgType::DataExcl:
+      case MsgType::WbAck:
+        l1s_[node]->handle(pkt, now);
+        break;
+
+      // Off-chip memory.
+      case MsgType::MemRead:
+      case MsgType::MemWrite: {
+        auto it = mcs_.find(node);
+        if (it == mcs_.end())
+            ocor_panic("node %u has no memory controller", node);
+        it->second->handle(pkt, now);
+        break;
+      }
+
+      // Lock protocol, home side.
+      case MsgType::LockTry:
+      case MsgType::LockRelease:
+      case MsgType::FutexWait:
+      case MsgType::FutexWake:
+        lockMgrs_[node]->handle(pkt, now);
+        break;
+
+      // Lock protocol, thread side.
+      case MsgType::LockGrant:
+      case MsgType::LockFail:
+      case MsgType::LockFreeNotify:
+      case MsgType::WakeNotify:
+        if (pkt->thread >= qspins_.size())
+            ocor_panic("lock response for unknown thread %u",
+                       pkt->thread);
+        qspins_[pkt->thread]->handle(pkt, now);
+        break;
+
+      default:
+        ocor_panic("dispatch: unhandled message %s",
+                   msgTypeName(pkt->type));
+    }
+}
+
+void
+System::tick(Cycle now)
+{
+    network_->tick(now);
+    for (auto &l1 : l1s_)
+        l1->tick(now);
+    for (auto &l2 : l2s_)
+        l2->tick(now);
+    for (auto &lm : lockMgrs_)
+        lm->tick(now);
+    for (auto &[node, mc] : mcs_)
+        mc->tick(now);
+    for (auto &qs : qspins_)
+        qs->tick(now);
+    for (auto &c : cores_)
+        c->tick(now);
+}
+
+bool
+System::allFinished() const
+{
+    for (const auto &c : cores_)
+        if (!c->finished())
+            return false;
+    return true;
+}
+
+bool
+System::drained() const
+{
+    if (!network_->idle())
+        return false;
+    for (const auto &l1 : l1s_)
+        if (!l1->idle())
+            return false;
+    for (const auto &l2 : l2s_)
+        if (!l2->idle())
+            return false;
+    for (const auto &lm : lockMgrs_)
+        if (!lm->idle())
+            return false;
+    for (const auto &[node, mc] : mcs_)
+        if (!mc->idle())
+            return false;
+    return true;
+}
+
+bool
+System::lockHeld(Addr lock_word) const
+{
+    NodeId home = amap_.homeOf(lock_word);
+    return lockMgrs_[home]->heldNow(lock_word);
+}
+
+bool
+System::lockHolderInCs(Addr lock_word) const
+{
+    NodeId home = amap_.homeOf(lock_word);
+    ThreadId holder = lockMgrs_[home]->holderOf(lock_word);
+    if (holder == invalidThread || holder >= pcbs_.size())
+        return false;
+    return pcbs_[holder]->state == ThreadState::InCS;
+}
+
+std::size_t
+System::lockQueueLength(Addr lock_word) const
+{
+    NodeId home = amap_.homeOf(lock_word);
+    return lockMgrs_[home]->queueLength(lock_word);
+}
+
+} // namespace ocor

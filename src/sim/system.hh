@@ -1,0 +1,99 @@
+/**
+ * @file
+ * System: instantiates and wires every component of the target CMP
+ * (Figure 3) — mesh NoC, per-node core/L1/lock-client, per-node L2
+ * bank + directory + lock manager, and the memory controllers.
+ */
+
+#ifndef OCOR_SIM_SYSTEM_HH
+#define OCOR_SIM_SYSTEM_HH
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "mem/address_map.hh"
+#include "mem/l1_cache.hh"
+#include "mem/l2_directory.hh"
+#include "mem/mem_controller.hh"
+#include "noc/network.hh"
+#include "os/lock_manager.hh"
+#include "os/pcb.hh"
+#include "os/qspinlock.hh"
+#include "sim/config.hh"
+#include "workload/program.hh"
+
+namespace ocor
+{
+
+/** One fully wired CMP instance. */
+class System
+{
+  public:
+    /**
+     * Build the system. @p programs holds one program per thread
+     * (threads map to nodes 0..numThreads-1); @p bg the background
+     * traffic configuration applied to every core.
+     */
+    System(const SystemConfig &cfg, std::vector<Program> programs,
+           const BgTrafficConfig &bg);
+
+    /** Advance the whole system one cycle. */
+    void tick(Cycle now);
+
+    /** All threads ran to completion. */
+    bool allFinished() const;
+
+    /** Every queue, buffer and link is empty. */
+    bool drained() const;
+
+    // --- component access -------------------------------------------
+    const SystemConfig &config() const { return cfg_; }
+    Network &network() { return *network_; }
+    const AddressMap &addressMap() const { return amap_; }
+    unsigned numThreads() const
+    {
+        return static_cast<unsigned>(cores_.size());
+    }
+    Core &core(ThreadId t) { return *cores_[t]; }
+    Pcb &pcb(ThreadId t) { return *pcbs_[t]; }
+    const Pcb &pcb(ThreadId t) const { return *pcbs_[t]; }
+    QSpinlock &qspinlock(ThreadId t) { return *qspins_[t]; }
+    L1Cache &l1(NodeId n) { return *l1s_[n]; }
+    L2Directory &l2(NodeId n) { return *l2s_[n]; }
+    LockManager &lockManager(NodeId n) { return *lockMgrs_[n]; }
+
+    /** Oracle: is the lock word @p lock_word held right now? */
+    bool lockHeld(Addr lock_word) const;
+
+    /**
+     * Oracle: is the holder of @p lock_word actually executing its
+     * critical section (vs. still waking up / in transit)? This is
+     * the Equation-1 boundary between predecessor-CS time and
+     * competition overhead.
+     */
+    bool lockHolderInCs(Addr lock_word) const;
+
+    /** Oracle: futex queue length of @p lock_word. */
+    std::size_t lockQueueLength(Addr lock_word) const;
+
+  private:
+    void dispatch(NodeId node, const PacketPtr &pkt, Cycle now);
+
+    SystemConfig cfg_;
+    AddressMap amap_;
+    std::unique_ptr<Network> network_;
+
+    std::vector<std::unique_ptr<Pcb>> pcbs_;
+    std::vector<std::unique_ptr<L1Cache>> l1s_;
+    std::vector<std::unique_ptr<L2Directory>> l2s_;
+    std::vector<std::unique_ptr<LockManager>> lockMgrs_;
+    std::vector<std::unique_ptr<QSpinlock>> qspins_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::map<NodeId, std::unique_ptr<MemController>> mcs_;
+};
+
+} // namespace ocor
+
+#endif // OCOR_SIM_SYSTEM_HH

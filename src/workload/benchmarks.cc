@@ -1,0 +1,137 @@
+#include "workload/benchmarks.hh"
+
+#include "common/log.hh"
+
+namespace ocor
+{
+
+namespace
+{
+
+/** Deterministic per-name jitter in [0, 1). */
+double
+nameJitter(const std::string &name, unsigned salt)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL + salt;
+    for (char c : name)
+        h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+BenchmarkProfile
+makeProfile(const std::string &name, const std::string &suite,
+            bool high_cs, bool high_net)
+{
+    BenchmarkProfile p;
+    p.name = name;
+    p.suite = suite;
+    p.highCsRate = high_cs;
+    p.highNetUtil = high_net;
+
+    const double j0 = nameJitter(name, 0);
+    const double j1 = nameJitter(name, 1);
+    const double j2 = nameJitter(name, 2);
+
+    // Class parameters were calibrated against the paper's Table 3
+    // bands (see EXPERIMENTS.md). "CS access rate" manifests as the
+    // lock-protocol traffic the home node sees, which depends on how
+    // many threads contend simultaneously; the compute gap below is
+    // the knob that sets that contention level.
+    SyntheticParams &w = p.workload;
+    w.iterations = 4;
+    w.numLocks = 1;
+    if (high_cs && high_net) {
+        // botss/ilbdc class: heavy lock competition in a congested
+        // network -> baseline collapses into sleep cascades that
+        // OCOR largely prevents.
+        w.meanGap = 44000 + static_cast<std::uint64_t>(j0 * 8000);
+    } else if (high_cs && !high_net) {
+        // body/kdtree class: competition without much background
+        // load; OCOR's wakeup-last/EDF effects still help.
+        w.meanGap = 30000 + static_cast<std::uint64_t>(j0 * 8000);
+    } else if (!high_cs && high_net) {
+        // freq/applu class: mild competition, congested network.
+        w.meanGap = 66000 + static_cast<std::uint64_t>(j0 * 12000);
+    } else {
+        // imag/ferret class: the saturated-but-uncongested corner;
+        // most blocking is predecessor CS time OCOR cannot remove.
+        w.meanGap = 17000 + static_cast<std::uint64_t>(j0 * 6000);
+    }
+    w.csBodyCompute = 110 + static_cast<unsigned>(j2 * 70);
+    // Only the low-CS-rate/high-net class carries a memory access
+    // inside the CS (freqmine-style memory-heavy critical sections);
+    // the other classes' critical sections are short compute bodies.
+    w.csAccesses = (!high_cs && high_net) ? 1 : 0;
+
+    // Network utilization: background memory traffic per core.
+    BgTrafficConfig &t = p.traffic;
+    if (high_net)
+        t.rate = 0.044 + j2 * 0.016;
+    else
+        t.rate = 0.010 + j2 * 0.008;
+    t.storeFraction = 0.3;
+
+    return p;
+}
+
+} // namespace
+
+std::vector<BenchmarkProfile>
+parsecProfiles()
+{
+    // Table 3 characterization (CS rate, network utilization).
+    return {
+        makeProfile("ferret", "PARSEC", false, false),
+        makeProfile("vips", "PARSEC", true, false),
+        makeProfile("fluid", "PARSEC", false, false),
+        makeProfile("body", "PARSEC", true, false),
+        makeProfile("freq", "PARSEC", false, true),
+        makeProfile("stream", "PARSEC", true, true),
+        makeProfile("x264", "PARSEC", true, true),
+        makeProfile("swap", "PARSEC", true, false),
+        makeProfile("face", "PARSEC", true, true),
+        makeProfile("dedup", "PARSEC", true, true),
+        makeProfile("can", "PARSEC", true, true),
+    };
+}
+
+std::vector<BenchmarkProfile>
+omp2012Profiles()
+{
+    return {
+        makeProfile("imag", "OMP2012", false, false),
+        makeProfile("bt331", "OMP2012", false, false),
+        makeProfile("applu", "OMP2012", false, true),
+        makeProfile("smith", "OMP2012", false, false),
+        makeProfile("fma3d", "OMP2012", true, false),
+        makeProfile("bwaves", "OMP2012", true, false),
+        makeProfile("kdtree", "OMP2012", true, false),
+        makeProfile("md", "OMP2012", true, false),
+        makeProfile("nab", "OMP2012", true, false),
+        makeProfile("swim", "OMP2012", true, false),
+        makeProfile("mgrid", "OMP2012", true, true),
+        makeProfile("botsa", "OMP2012", true, true),
+        makeProfile("botss", "OMP2012", true, true),
+        makeProfile("ilbdc", "OMP2012", true, true),
+    };
+}
+
+std::vector<BenchmarkProfile>
+allProfiles()
+{
+    auto all = parsecProfiles();
+    auto omp = omp2012Profiles();
+    all.insert(all.end(), omp.begin(), omp.end());
+    return all;
+}
+
+BenchmarkProfile
+profileByName(const std::string &name)
+{
+    for (const auto &p : allProfiles())
+        if (p.name == name)
+            return p;
+    ocor_fatal("unknown benchmark profile '%s'", name.c_str());
+}
+
+} // namespace ocor

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The 25 benchmark profiles of the paper's evaluation.
+ *
+ * Each PARSEC / SPEC OMP2012 program is represented by the synthetic
+ * workload parameters that realize its Table-3 characterization:
+ * critical-section access rate (low/high) and network utilization
+ * (low/high), with deterministic per-program variation inside each
+ * class so the 25 programs are not four identical points.
+ */
+
+#ifndef OCOR_WORKLOAD_BENCHMARKS_HH
+#define OCOR_WORKLOAD_BENCHMARKS_HH
+
+#include <string>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "workload/synthetic.hh"
+
+namespace ocor
+{
+
+/** One named benchmark: workload + traffic parameters. */
+struct BenchmarkProfile
+{
+    std::string name;
+    std::string suite;       ///< "PARSEC" or "OMP2012"
+    bool highCsRate = false; ///< Table 3 "CS Rate" column
+    bool highNetUtil = false;///< Table 3 "Net. Util." column
+
+    SyntheticParams workload;
+    BgTrafficConfig traffic;
+};
+
+/** All 11 PARSEC profiles (paper Section 5.1). */
+std::vector<BenchmarkProfile> parsecProfiles();
+
+/** All 14 SPEC OMP2012 profiles. */
+std::vector<BenchmarkProfile> omp2012Profiles();
+
+/** The full 25-program set, PARSEC first. */
+std::vector<BenchmarkProfile> allProfiles();
+
+/** Find a profile by name; fatal if unknown. */
+BenchmarkProfile profileByName(const std::string &name);
+
+} // namespace ocor
+
+#endif // OCOR_WORKLOAD_BENCHMARKS_HH

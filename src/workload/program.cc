@@ -1,0 +1,89 @@
+#include "workload/program.hh"
+
+namespace ocor
+{
+
+std::size_t
+Program::lockCount() const
+{
+    std::size_t n = 0;
+    for (const auto &op : ops)
+        if (op.type == OpType::Lock)
+            ++n;
+    return n;
+}
+
+bool
+Program::wellFormed() const
+{
+    if (ops.empty() || ops.back().type != OpType::End)
+        return false;
+    bool in_cs = false;
+    std::uint64_t held = 0;
+    for (const auto &op : ops) {
+        switch (op.type) {
+          case OpType::Lock:
+            if (in_cs)
+                return false; // no nesting in this model
+            in_cs = true;
+            held = op.arg;
+            break;
+          case OpType::Unlock:
+            if (!in_cs || held != op.arg)
+                return false;
+            in_cs = false;
+            break;
+          case OpType::End:
+            if (in_cs)
+                return false;
+            break;
+          default:
+            break;
+        }
+    }
+    return !in_cs;
+}
+
+ProgramBuilder &
+ProgramBuilder::compute(std::uint64_t cycles)
+{
+    prog_.ops.push_back({OpType::Compute, cycles});
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::lock(std::uint64_t lock_idx)
+{
+    prog_.ops.push_back({OpType::Lock, lock_idx});
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::unlock(std::uint64_t lock_idx)
+{
+    prog_.ops.push_back({OpType::Unlock, lock_idx});
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::load(Addr addr)
+{
+    prog_.ops.push_back({OpType::Load, addr});
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::store(Addr addr)
+{
+    prog_.ops.push_back({OpType::Store, addr});
+    return *this;
+}
+
+Program
+ProgramBuilder::build()
+{
+    prog_.ops.push_back({OpType::End, 0});
+    return std::move(prog_);
+}
+
+} // namespace ocor

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Thread programs: the op-level workload a core executes.
+ *
+ * A program is a flat list of operations; the core interprets them
+ * in order. Critical sections are bracketed by Lock/Unlock ops and
+ * contain loads/stores to lock-protected lines plus a short compute
+ * body, mirroring the small critical sections the paper observes
+ * (Section 5.2.1: ~5% of execution time inside CS).
+ */
+
+#ifndef OCOR_WORKLOAD_PROGRAM_HH
+#define OCOR_WORKLOAD_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ocor
+{
+
+/** Operation kinds a core can execute. */
+enum class OpType : std::uint8_t
+{
+    Compute, ///< busy for arg cycles
+    Lock,    ///< acquire lock #arg (queue spinlock)
+    Unlock,  ///< release lock #arg
+    Load,    ///< load from address arg (through L1/MOESI)
+    Store,   ///< store to address arg
+    End      ///< thread finished
+};
+
+/** One operation. */
+struct Op
+{
+    OpType type = OpType::End;
+    std::uint64_t arg = 0;
+};
+
+/** A thread's full instruction stream. */
+struct Program
+{
+    std::vector<Op> ops;
+
+    /** Number of Lock ops (sanity checks in tests). */
+    std::size_t lockCount() const;
+
+    /** Structural validation: Lock/Unlock balance, End-terminated. */
+    bool wellFormed() const;
+};
+
+/** Helpers for building programs by hand (tests / examples). */
+class ProgramBuilder
+{
+  public:
+    ProgramBuilder &compute(std::uint64_t cycles);
+    ProgramBuilder &lock(std::uint64_t lock_idx);
+    ProgramBuilder &unlock(std::uint64_t lock_idx);
+    ProgramBuilder &load(Addr addr);
+    ProgramBuilder &store(Addr addr);
+    Program build();
+
+  private:
+    Program prog_;
+};
+
+} // namespace ocor
+
+#endif // OCOR_WORKLOAD_PROGRAM_HH

@@ -1,0 +1,43 @@
+#include "workload/synthetic.hh"
+
+namespace ocor
+{
+
+Program
+buildSyntheticProgram(const SyntheticParams &params,
+                      std::uint64_t seed, ThreadId tid)
+{
+    Rng rng(seed ^ (0xc0ffee123ULL + tid * 0x9e3779b97f4a7c15ULL));
+    ProgramBuilder b;
+
+    for (unsigned it = 0; it < params.iterations; ++it) {
+        // Parallel phase: uniform jitter in [0.5, 1.5] x meanGap
+        // decorrelates the threads' lock attempts.
+        std::uint64_t lo = params.meanGap / 2;
+        std::uint64_t hi = params.meanGap + params.meanGap / 2;
+        b.compute(rng.between(lo, hi));
+
+        std::uint64_t lock_idx =
+            params.numLocks <= 1 ? 0 : rng.range(params.numLocks);
+        b.lock(lock_idx);
+
+        // Critical section body: touch the lock-protected lines (the
+        // coherence ping-pong of shared data) plus a short compute.
+        Addr region = params.sharedDataBase
+            + lock_idx * 16 * params.lineBytes;
+        for (unsigned a = 0; a < params.csAccesses; ++a) {
+            Addr line = region + (a % 16) * params.lineBytes;
+            if (a % 2 == 0)
+                b.load(line);
+            else
+                b.store(line);
+        }
+        if (params.csBodyCompute > 0)
+            b.compute(params.csBodyCompute);
+
+        b.unlock(lock_idx);
+    }
+    return b.build();
+}
+
+} // namespace ocor

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Synthetic critical-section workload generator.
+ *
+ * Substitutes for the PARSEC / SPEC OMP2012 programs (see DESIGN.md):
+ * every thread runs `iterations` rounds of
+ *
+ *     parallel compute (jittered)  ->  lock  ->  critical section
+ *     (shared loads/stores + short compute)  ->  unlock
+ *
+ * parameterized by the two characteristics the paper uses to explain
+ * its results (Table 3): critical-section access rate (the compute
+ * gap between lock attempts) and network utilization (the background
+ * traffic rate paired with the program in BenchmarkProfile).
+ */
+
+#ifndef OCOR_WORKLOAD_SYNTHETIC_HH
+#define OCOR_WORKLOAD_SYNTHETIC_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "workload/program.hh"
+
+namespace ocor
+{
+
+/** Knobs of the per-thread synthetic program. */
+struct SyntheticParams
+{
+    unsigned iterations = 20;     ///< critical sections per thread
+    std::uint64_t meanGap = 2000; ///< parallel compute between CSs
+    unsigned csBodyCompute = 150; ///< compute inside the CS
+    unsigned csAccesses = 3;      ///< shared loads/stores inside CS
+    unsigned numLocks = 1;        ///< distinct locks (hot when 1)
+    Addr sharedDataBase = 0x8000'0000; ///< lock-protected lines
+    unsigned lineBytes = 128;
+};
+
+/**
+ * Build thread @p tid's program. Deterministic for a given
+ * (params, seed, tid); the jitter decorrelates thread phases.
+ */
+Program buildSyntheticProgram(const SyntheticParams &params,
+                              std::uint64_t seed, ThreadId tid);
+
+} // namespace ocor
+
+#endif // OCOR_WORKLOAD_SYNTHETIC_HH

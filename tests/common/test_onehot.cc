@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Unit tests for one-hot priority coding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/onehot.hh"
+
+using namespace ocor;
+
+TEST(OneHot, EncodeDecodeRoundTrip)
+{
+    for (unsigned level = 0; level < 64; ++level) {
+        OneHot v = onehotEncode(level);
+        EXPECT_TRUE(onehotValid(v));
+        EXPECT_EQ(onehotDecode(v), level);
+    }
+}
+
+TEST(OneHot, ValidRejectsZero)
+{
+    EXPECT_FALSE(onehotValid(0));
+}
+
+TEST(OneHot, ValidRejectsMultipleBits)
+{
+    EXPECT_FALSE(onehotValid(0b11));
+    EXPECT_FALSE(onehotValid(0b101000));
+    EXPECT_FALSE(onehotValid(~OneHot{0}));
+}
+
+TEST(OneHot, HighestOfMask)
+{
+    EXPECT_EQ(onehotHighest(0), 0u);
+    EXPECT_EQ(onehotHighest(0b1), OneHot{1});
+    EXPECT_EQ(onehotHighest(0b1011), OneHot{0b1000});
+    EXPECT_EQ(onehotHighest(OneHot{1} << 63 | 1),
+              OneHot{1} << 63);
+}
+
+TEST(OneHot, HighestIsIdempotentOnValid)
+{
+    for (unsigned level = 0; level < 64; ++level) {
+        OneHot v = onehotEncode(level);
+        EXPECT_EQ(onehotHighest(v), v);
+    }
+}
+
+TEST(OneHotDeath, EncodeOutOfRangePanics)
+{
+    EXPECT_DEATH(onehotEncode(64), "one-hot");
+}
+
+TEST(OneHotDeath, DecodeInvalidPanics)
+{
+    EXPECT_DEATH(onehotDecode(0), "one-hot");
+    EXPECT_DEATH(onehotDecode(0b110), "one-hot");
+}

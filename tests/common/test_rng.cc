@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the deterministic PRNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+using namespace ocor;
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, RangeBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        auto v = r.range(17);
+        EXPECT_LT(v, 17u);
+    }
+}
+
+TEST(Rng, RangeZeroIsZero)
+{
+    Rng r(7);
+    EXPECT_EQ(r.range(0), 0u);
+}
+
+TEST(Rng, RangeOneIsZero)
+{
+    Rng r(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.range(1), 0u);
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng r(3);
+    bool lo_seen = false, hi_seen = false;
+    for (int i = 0; i < 20000; ++i) {
+        auto v = r.between(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        lo_seen |= v == 5;
+        hi_seen |= v == 8;
+    }
+    EXPECT_TRUE(lo_seen);
+    EXPECT_TRUE(hi_seen);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+        EXPECT_FALSE(r.chance(-1.0));
+        EXPECT_TRUE(r.chance(2.0));
+    }
+}
+
+TEST(Rng, ChanceFrequency)
+{
+    Rng r(17);
+    int hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Rng, NextEventGapMeanMatchesRate)
+{
+    Rng r(19);
+    const double p = 0.02;
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(r.nextEventGap(p));
+    // Geometric mean 1/p = 50.
+    EXPECT_NEAR(sum / n, 50.0, 3.0);
+}
+
+TEST(Rng, NextEventGapZeroRateIsHuge)
+{
+    Rng r(23);
+    EXPECT_GT(r.nextEventGap(0.0), std::uint64_t{1} << 60);
+}
+
+TEST(Rng, NextEventGapFullRateIsOne)
+{
+    Rng r(29);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.nextEventGap(1.0), 1u);
+}

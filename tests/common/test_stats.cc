@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the statistics primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+using namespace ocor;
+
+TEST(SampleStat, EmptyIsZero)
+{
+    SampleStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(SampleStat, BasicMoments)
+{
+    SampleStat s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.sample(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(SampleStat, NegativeValues)
+{
+    SampleStat s;
+    s.sample(-5.0);
+    s.sample(5.0);
+    EXPECT_DOUBLE_EQ(s.min(), -5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(SampleStat, MergeCombines)
+{
+    SampleStat a, b;
+    a.sample(1.0);
+    a.sample(3.0);
+    b.sample(10.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.max(), 10.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+}
+
+TEST(SampleStat, MergeWithEmpty)
+{
+    SampleStat a, empty;
+    a.sample(2.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+
+    SampleStat c;
+    c.merge(a);
+    EXPECT_EQ(c.count(), 1u);
+    EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(SampleStat, Reset)
+{
+    SampleStat s;
+    s.sample(1.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Histogram, BucketsFill)
+{
+    Histogram h(10.0, 4); // [0,10) [10,20) [20,30) [30,inf)
+    h.sample(5.0);
+    h.sample(15.0);
+    h.sample(15.5);
+    h.sample(100.0); // clamps to last bucket
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 2u);
+    EXPECT_EQ(h.buckets()[2], 0u);
+    EXPECT_EQ(h.buckets()[3], 1u);
+    EXPECT_EQ(h.stat().count(), 4u);
+}
+
+TEST(Histogram, NegativeClampsToFirst)
+{
+    Histogram h(1.0, 4);
+    h.sample(-3.0);
+    EXPECT_EQ(h.buckets()[0], 1u);
+}
+
+TEST(Helpers, Pct)
+{
+    EXPECT_DOUBLE_EQ(pct(1.0, 4.0), 25.0);
+    EXPECT_DOUBLE_EQ(pct(1.0, 0.0), 0.0);
+}
+
+TEST(Helpers, Ratio)
+{
+    EXPECT_DOUBLE_EQ(ratio(1.0, 4.0), 0.25);
+    EXPECT_DOUBLE_EQ(ratio(1.0, 0.0), 0.0);
+}
+
+TEST(Helpers, PctStr)
+{
+    EXPECT_EQ(pctStr(12.345), "12.3%");
+    EXPECT_EQ(pctStr(12.345, 2), "12.35%");
+    EXPECT_EQ(pctStr(0.0, 0), "0%");
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit tests for OcorConfig validation and derived values.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ocor_config.hh"
+
+using namespace ocor;
+
+TEST(OcorConfig, DefaultsMatchPaper)
+{
+    OcorConfig cfg;
+    EXPECT_FALSE(cfg.enabled);
+    EXPECT_EQ(cfg.maxSpinCount, 128u); // Linux 4.2 footnote
+    EXPECT_EQ(cfg.numRtrLevels, 8u);   // Section 5.2.5 default
+    EXPECT_EQ(cfg.rtrSegmentWidth(), 16u); // 8 x 16 = 128
+    EXPECT_TRUE(cfg.ruleSlowProgressFirst);
+    EXPECT_TRUE(cfg.ruleLockFirst);
+    EXPECT_TRUE(cfg.ruleLeastRtrFirst);
+    EXPECT_TRUE(cfg.ruleWakeupLast);
+}
+
+TEST(OcorConfig, SegmentWidthRoundsDown)
+{
+    OcorConfig cfg;
+    cfg.maxSpinCount = 100;
+    cfg.numRtrLevels = 8;
+    EXPECT_EQ(cfg.rtrSegmentWidth(), 12u);
+}
+
+TEST(OcorConfig, SegmentWidthNeverZero)
+{
+    OcorConfig cfg;
+    cfg.maxSpinCount = 4;
+    cfg.numRtrLevels = 32;
+    EXPECT_EQ(cfg.rtrSegmentWidth(), 1u);
+}
+
+TEST(OcorConfig, ValidateAcceptsDefaults)
+{
+    OcorConfig cfg;
+    cfg.validate(); // must not exit
+    SUCCEED();
+}
+
+TEST(OcorConfigDeath, RejectsZeroSpin)
+{
+    OcorConfig cfg;
+    cfg.maxSpinCount = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "maxSpinCount");
+}
+
+TEST(OcorConfigDeath, RejectsZeroLevels)
+{
+    OcorConfig cfg;
+    cfg.numRtrLevels = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "numRtrLevels");
+}
+
+TEST(OcorConfigDeath, RejectsHugeLevels)
+{
+    OcorConfig cfg;
+    cfg.numRtrLevels = 63;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "numRtrLevels");
+}
+
+TEST(OcorConfigDeath, RejectsZeroProgressWidth)
+{
+    OcorConfig cfg;
+    cfg.progressSegmentWidth = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "progressSegmentWidth");
+}

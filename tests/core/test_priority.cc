@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Unit tests for the OCOR priority encoding and the Table-1 rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/priority.hh"
+
+using namespace ocor;
+
+namespace
+{
+OcorConfig
+enabledCfg()
+{
+    OcorConfig cfg;
+    cfg.enabled = true;
+    return cfg;
+}
+} // namespace
+
+TEST(RtrToLevel, PaperMapping)
+{
+    // 128 retries, 8 levels, 16 retries per segment; the smallest
+    // RTR maps to the highest level (8), the largest to level 1.
+    OcorConfig cfg = enabledCfg();
+    EXPECT_EQ(cfg.rtrSegmentWidth(), 16u);
+    EXPECT_EQ(rtrToLevel(cfg, 1), 8u);
+    EXPECT_EQ(rtrToLevel(cfg, 16), 8u);
+    EXPECT_EQ(rtrToLevel(cfg, 17), 7u);
+    EXPECT_EQ(rtrToLevel(cfg, 64), 5u);
+    EXPECT_EQ(rtrToLevel(cfg, 112), 2u);
+    EXPECT_EQ(rtrToLevel(cfg, 113), 1u);
+    EXPECT_EQ(rtrToLevel(cfg, 128), 1u);
+}
+
+TEST(RtrToLevel, ClampsOutOfRange)
+{
+    OcorConfig cfg = enabledCfg();
+    EXPECT_EQ(rtrToLevel(cfg, 0), 8u);    // clamped to 1
+    EXPECT_EQ(rtrToLevel(cfg, 9999), 1u); // clamped to maxSpinCount
+}
+
+TEST(RtrToLevel, MonotoneNonIncreasing)
+{
+    OcorConfig cfg = enabledCfg();
+    unsigned prev = rtrToLevel(cfg, 1);
+    for (unsigned rtr = 2; rtr <= cfg.maxSpinCount; ++rtr) {
+        unsigned level = rtrToLevel(cfg, rtr);
+        EXPECT_LE(level, prev) << "rtr=" << rtr;
+        EXPECT_GE(level, 1u);
+        prev = level;
+    }
+}
+
+TEST(RtrToLevel, SingleLevelConfig)
+{
+    OcorConfig cfg = enabledCfg();
+    cfg.numRtrLevels = 1;
+    for (unsigned rtr : {1u, 64u, 128u})
+        EXPECT_EQ(rtrToLevel(cfg, rtr), 1u);
+}
+
+TEST(RtrToLevel, SixteenLevels)
+{
+    OcorConfig cfg = enabledCfg();
+    cfg.numRtrLevels = 16;
+    EXPECT_EQ(cfg.rtrSegmentWidth(), 8u);
+    EXPECT_EQ(rtrToLevel(cfg, 1), 16u);
+    EXPECT_EQ(rtrToLevel(cfg, 128), 1u);
+}
+
+TEST(ProgressToSegment, SaturatesAtLast)
+{
+    OcorConfig cfg = enabledCfg();
+    EXPECT_EQ(progressToSegment(cfg, 0), 0u);
+    EXPECT_EQ(progressToSegment(cfg, 3), 0u);
+    EXPECT_EQ(progressToSegment(cfg, 4), 1u);
+    EXPECT_EQ(progressToSegment(cfg, 1000000),
+              cfg.numProgressLevels - 1);
+}
+
+TEST(MakePriority, NormalPacketsHaveNoFields)
+{
+    OcorConfig cfg = enabledCfg();
+    auto f = makePriority(cfg, PriorityClass::Normal, 5, 2);
+    EXPECT_FALSE(f.check);
+    EXPECT_EQ(f.priorityBits, 0u);
+    EXPECT_EQ(f.progressBits, 0u);
+}
+
+TEST(MakePriority, DisabledProducesNoFields)
+{
+    OcorConfig cfg; // disabled
+    auto f = makePriority(cfg, PriorityClass::LockTry, 1, 0);
+    EXPECT_FALSE(f.check);
+}
+
+TEST(MakePriority, LockTryEncodesRtrLevel)
+{
+    OcorConfig cfg = enabledCfg();
+    auto urgent = makePriority(cfg, PriorityClass::LockTry, 1, 0);
+    auto fresh = makePriority(cfg, PriorityClass::LockTry, 128, 0);
+    EXPECT_TRUE(urgent.check);
+    EXPECT_EQ(onehotDecode(urgent.priorityBits), 8u);
+    EXPECT_EQ(onehotDecode(fresh.priorityBits), 1u);
+}
+
+TEST(MakePriority, WakeupGetsLowestLevel)
+{
+    OcorConfig cfg = enabledCfg();
+    auto w = makePriority(cfg, PriorityClass::Wakeup, 1, 0);
+    EXPECT_TRUE(w.check);
+    EXPECT_EQ(onehotDecode(w.priorityBits), 0u);
+}
+
+TEST(MakePriority, ReleaseGetsTopLockLevel)
+{
+    OcorConfig cfg = enabledCfg();
+    auto r = makePriority(cfg, PriorityClass::LockRelease, 64, 3);
+    EXPECT_TRUE(r.check);
+    EXPECT_EQ(onehotDecode(r.priorityBits), cfg.numRtrLevels);
+}
+
+// ---- Table 1 rules expressed over priorityRank -----------------------
+
+TEST(PriorityRank, Rule2LockBeforeNormal)
+{
+    OcorConfig cfg = enabledCfg();
+    auto lock_f = makePriority(cfg, PriorityClass::LockTry, 128, 100);
+    auto norm_f = makePriority(cfg, PriorityClass::Normal, 0, 0);
+    EXPECT_GT(priorityRank(cfg, lock_f), priorityRank(cfg, norm_f));
+}
+
+TEST(PriorityRank, Rule3LeastRtrFirst)
+{
+    OcorConfig cfg = enabledCfg();
+    auto small = makePriority(cfg, PriorityClass::LockTry, 3, 5);
+    auto large = makePriority(cfg, PriorityClass::LockTry, 120, 5);
+    EXPECT_GT(priorityRank(cfg, small), priorityRank(cfg, large));
+}
+
+TEST(PriorityRank, Rule4WakeupLast)
+{
+    OcorConfig cfg = enabledCfg();
+    auto wake = makePriority(cfg, PriorityClass::Wakeup, 1, 5);
+    auto try_worst = makePriority(cfg, PriorityClass::LockTry, 128, 5);
+    EXPECT_GT(priorityRank(cfg, try_worst), priorityRank(cfg, wake));
+    // ...but a wakeup still beats normal traffic (rule 2).
+    auto norm = makePriority(cfg, PriorityClass::Normal, 0, 0);
+    EXPECT_GT(priorityRank(cfg, wake), priorityRank(cfg, norm));
+}
+
+TEST(PriorityRank, Rule1SlowProgressDominates)
+{
+    OcorConfig cfg = enabledCfg();
+    // Slow-progress thread with the *worst* RTR still beats a
+    // fast-progress thread with the best RTR.
+    auto slow = makePriority(cfg, PriorityClass::LockTry, 128, 0);
+    auto fast = makePriority(cfg, PriorityClass::LockTry, 1, 100);
+    EXPECT_GT(priorityRank(cfg, slow), priorityRank(cfg, fast));
+}
+
+TEST(PriorityRank, DisabledIsAllZero)
+{
+    OcorConfig cfg; // disabled
+    OcorConfig on = enabledCfg();
+    auto f = makePriority(on, PriorityClass::LockTry, 1, 0);
+    EXPECT_EQ(priorityRank(cfg, f), 0u);
+}
+
+TEST(PriorityRank, RuleSwitchLeastRtrOff)
+{
+    OcorConfig cfg = enabledCfg();
+    cfg.ruleLeastRtrFirst = false;
+    auto a = makePriority(cfg, PriorityClass::LockTry, 1, 5);
+    auto b = makePriority(cfg, PriorityClass::LockTry, 128, 5);
+    EXPECT_EQ(priorityRank(cfg, a), priorityRank(cfg, b));
+}
+
+TEST(PriorityRank, RuleSwitchWakeupLastOff)
+{
+    OcorConfig cfg = enabledCfg();
+    cfg.ruleWakeupLast = false;
+    auto wake = makePriority(cfg, PriorityClass::Wakeup, 1, 5);
+    auto spin = makePriority(cfg, PriorityClass::LockTry, 1, 5);
+    EXPECT_EQ(priorityRank(cfg, wake), priorityRank(cfg, spin));
+}
+
+TEST(PriorityRank, RuleSwitchSlowProgressOff)
+{
+    OcorConfig cfg = enabledCfg();
+    cfg.ruleSlowProgressFirst = false;
+    auto slow = makePriority(cfg, PriorityClass::LockTry, 64, 0);
+    auto fast = makePriority(cfg, PriorityClass::LockTry, 64, 1000);
+    EXPECT_EQ(priorityRank(cfg, slow), priorityRank(cfg, fast));
+}
+
+TEST(PriorityRank, RuleSwitchLockFirstOffCollapsesToBaseline)
+{
+    OcorConfig cfg = enabledCfg();
+    cfg.ruleLockFirst = false;
+    auto f = makePriority(cfg, PriorityClass::LockTry, 1, 0);
+    EXPECT_FALSE(f.check);
+    EXPECT_EQ(priorityRank(cfg, f), 0u);
+}
+
+TEST(PriorityRank, FullOrderIsLexicographic)
+{
+    OcorConfig cfg = enabledCfg();
+    // Enumerate (progress segment, level) and verify rank ordering is
+    // progress-major then level.
+    std::uint64_t prev = 0;
+    bool first = true;
+    for (int seg = static_cast<int>(cfg.numProgressLevels) - 1;
+         seg >= 0; --seg) {
+        for (unsigned level = 0; level <= cfg.numRtrLevels; ++level) {
+            PriorityFields f;
+            f.check = true;
+            f.priorityBits = onehotEncode(level);
+            f.progressBits = onehotEncode(static_cast<unsigned>(seg));
+            auto r = priorityRank(cfg, f);
+            if (!first)
+                EXPECT_GT(r, prev) << "seg=" << seg
+                                   << " level=" << level;
+            prev = r;
+            first = false;
+        }
+    }
+}

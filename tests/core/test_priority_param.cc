@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Parameterized property sweeps over the OCOR priority-encoding
+ * configuration space (level counts, spin budgets, progress
+ * widths).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/priority.hh"
+
+using namespace ocor;
+
+namespace
+{
+
+struct EncCase
+{
+    unsigned maxSpin;
+    unsigned rtrLevels;
+    unsigned progLevels;
+    unsigned progWidth;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<EncCase> &info)
+{
+    const auto &p = info.param;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "spin%u_lvl%u_p%u_w%u",
+                  p.maxSpin, p.rtrLevels, p.progLevels,
+                  p.progWidth);
+    return buf;
+}
+
+class EncodingSweep : public ::testing::TestWithParam<EncCase>
+{
+  protected:
+    OcorConfig
+    cfg() const
+    {
+        OcorConfig c;
+        c.enabled = true;
+        c.maxSpinCount = GetParam().maxSpin;
+        c.numRtrLevels = GetParam().rtrLevels;
+        c.numProgressLevels = GetParam().progLevels;
+        c.progressSegmentWidth = GetParam().progWidth;
+        return c;
+    }
+};
+
+} // namespace
+
+TEST_P(EncodingSweep, ConfigValidates)
+{
+    cfg().validate();
+    SUCCEED();
+}
+
+TEST_P(EncodingSweep, RtrLevelsWithinRangeAndMonotone)
+{
+    OcorConfig c = cfg();
+    unsigned prev_level = c.numRtrLevels + 1;
+    for (unsigned rtr = 1; rtr <= c.maxSpinCount; ++rtr) {
+        unsigned level = rtrToLevel(c, rtr);
+        ASSERT_GE(level, 1u);
+        ASSERT_LE(level, c.numRtrLevels);
+        ASSERT_LE(level, prev_level) << "rtr " << rtr;
+        prev_level = level;
+    }
+    // Extremes: smallest RTR -> top level; largest -> level 1.
+    EXPECT_EQ(rtrToLevel(c, 1), c.numRtrLevels);
+    EXPECT_EQ(rtrToLevel(c, c.maxSpinCount), 1u);
+}
+
+TEST_P(EncodingSweep, EveryLevelIsReachable)
+{
+    OcorConfig c = cfg();
+    if (c.numRtrLevels > c.maxSpinCount)
+        GTEST_SKIP() << "more levels than retries";
+    std::vector<bool> seen(c.numRtrLevels + 1, false);
+    for (unsigned rtr = 1; rtr <= c.maxSpinCount; ++rtr)
+        seen[rtrToLevel(c, rtr)] = true;
+    for (unsigned l = 1; l <= c.numRtrLevels; ++l)
+        EXPECT_TRUE(seen[l]) << "level " << l << " unreachable";
+}
+
+TEST_P(EncodingSweep, RankRespectsRtrOrdering)
+{
+    OcorConfig c = cfg();
+    for (unsigned a = 1; a < c.maxSpinCount; a += 7) {
+        for (unsigned b = a + 1; b <= c.maxSpinCount; b += 11) {
+            auto fa = makePriority(c, PriorityClass::LockTry, a, 0);
+            auto fb = makePriority(c, PriorityClass::LockTry, b, 0);
+            EXPECT_GE(priorityRank(c, fa), priorityRank(c, fb))
+                << "rtr " << a << " vs " << b;
+        }
+    }
+}
+
+TEST_P(EncodingSweep, WakeupAlwaysBelowEveryTry)
+{
+    OcorConfig c = cfg();
+    auto wake = makePriority(c, PriorityClass::Wakeup, 1, 0);
+    for (unsigned rtr = 1; rtr <= c.maxSpinCount;
+         rtr += std::max(1u, c.maxSpinCount / 16)) {
+        auto f = makePriority(c, PriorityClass::LockTry, rtr, 0);
+        EXPECT_GT(priorityRank(c, f), priorityRank(c, wake));
+    }
+}
+
+TEST_P(EncodingSweep, ProgressSegmentsSaturate)
+{
+    OcorConfig c = cfg();
+    unsigned prev = 0;
+    for (std::uint64_t prog = 0;
+         prog < static_cast<std::uint64_t>(c.numProgressLevels + 2)
+             * c.progressSegmentWidth;
+         ++prog) {
+        unsigned seg = progressToSegment(c, prog);
+        ASSERT_LT(seg, c.numProgressLevels);
+        ASSERT_GE(seg, prev);
+        prev = seg;
+    }
+    EXPECT_EQ(progressToSegment(c, ~std::uint64_t{0} / 2),
+              c.numProgressLevels - 1);
+}
+
+TEST_P(EncodingSweep, SlowerProgressAlwaysOutranks)
+{
+    OcorConfig c = cfg();
+    if (c.numProgressLevels == 1)
+        GTEST_SKIP() << "one segment cannot express progress order";
+    std::uint64_t far_prog = static_cast<std::uint64_t>(
+        c.numProgressLevels) * c.progressSegmentWidth;
+    auto slow = makePriority(c, PriorityClass::LockTry,
+                             c.maxSpinCount, 0);
+    auto fast = makePriority(c, PriorityClass::LockTry, 1, far_prog);
+    EXPECT_GT(priorityRank(c, slow), priorityRank(c, fast));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Space, EncodingSweep,
+    ::testing::Values(EncCase{128, 8, 8, 4},   // paper default
+                      EncCase{128, 1, 8, 4},   // single level
+                      EncCase{128, 2, 8, 4},
+                      EncCase{128, 4, 8, 4},
+                      EncCase{128, 16, 8, 4},
+                      EncCase{128, 32, 8, 4},  // Fig. 16 sweep
+                      EncCase{64, 8, 8, 4},    // smaller budget
+                      EncCase{100, 8, 8, 4},   // non-divisible
+                      EncCase{128, 7, 8, 4},   // non-divisible
+                      EncCase{128, 8, 1, 1},   // degenerate progress
+                      EncCase{128, 8, 16, 2},
+                      EncCase{4, 4, 4, 4}),    // tiny budget
+    caseName);

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the set-associative tag array.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache_array.hh"
+
+using namespace ocor;
+
+TEST(CacheArray, MissThenHit)
+{
+    CacheArray c(4, 2, 128);
+    EXPECT_EQ(c.find(0x100), nullptr);
+    CacheLine *slot = c.victimFor(0x100);
+    ASSERT_NE(slot, nullptr);
+    c.fill(slot, 0x100, CoherState::S, 1);
+    CacheLine *hit = c.find(0x100);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->state, CoherState::S);
+    EXPECT_EQ(c.validCount(), 1u);
+}
+
+TEST(CacheArray, VictimPrefersInvalid)
+{
+    CacheArray c(1, 2, 128);
+    c.fill(c.victimFor(0x000), 0x000, CoherState::M, 1);
+    CacheLine *v = c.victimFor(0x080);
+    EXPECT_FALSE(v->valid) << "must pick the empty way first";
+}
+
+TEST(CacheArray, LruEviction)
+{
+    CacheArray c(1, 2, 128); // one set, two ways
+    c.fill(c.victimFor(0x000), 0x000, CoherState::S, 1);
+    c.fill(c.victimFor(0x080), 0x080, CoherState::S, 2);
+    // Touch the older line so the newer becomes LRU.
+    c.touch(c.find(0x000), 3);
+    CacheLine *v = c.victimFor(0x100);
+    ASSERT_TRUE(v->valid);
+    EXPECT_EQ(v->addr, 0x080u);
+}
+
+TEST(CacheArray, SetIndexingSeparatesSets)
+{
+    CacheArray c(4, 1, 128);
+    // Lines 0x000, 0x080, 0x100, 0x180 map to sets 0..3.
+    for (Addr a : {0x000u, 0x080u, 0x100u, 0x180u})
+        c.fill(c.victimFor(a), a, CoherState::S, 1);
+    EXPECT_EQ(c.validCount(), 4u);
+    for (Addr a : {0x000u, 0x080u, 0x100u, 0x180u})
+        EXPECT_NE(c.find(a), nullptr);
+}
+
+TEST(CacheArray, ConflictWithinSet)
+{
+    CacheArray c(4, 1, 128);
+    // 0x000 and 0x200 share set 0 in a 4-set cache.
+    c.fill(c.victimFor(0x000), 0x000, CoherState::S, 1);
+    CacheLine *v = c.victimFor(0x200);
+    ASSERT_TRUE(v->valid);
+    EXPECT_EQ(v->addr, 0x000u);
+}
+
+TEST(CacheArray, StateNames)
+{
+    EXPECT_STREQ(coherStateName(CoherState::I), "I");
+    EXPECT_STREQ(coherStateName(CoherState::S), "S");
+    EXPECT_STREQ(coherStateName(CoherState::E), "E");
+    EXPECT_STREQ(coherStateName(CoherState::O), "O");
+    EXPECT_STREQ(coherStateName(CoherState::M), "M");
+}
+
+TEST(CacheArrayDeath, RejectsBadGeometry)
+{
+    EXPECT_EXIT(CacheArray(3, 2, 128), ::testing::ExitedWithCode(1),
+                "power of two");
+    EXPECT_EXIT(CacheArray(4, 0, 128), ::testing::ExitedWithCode(1),
+                "ways");
+}
+
+TEST(CacheArray, CapacityBounded)
+{
+    CacheArray c(4, 2, 128);
+    for (Addr line = 0; line < 64; ++line) {
+        Addr a = line * 128;
+        if (!c.find(a))
+            c.fill(c.victimFor(a), a, CoherState::S, line);
+    }
+    EXPECT_EQ(c.validCount(), 8u) << "sets x ways bound";
+}

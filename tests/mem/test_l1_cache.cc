@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests for the L1 cache FSM in isolation (hand-driven
+ * protocol messages, no network).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/l1_cache.hh"
+
+using namespace ocor;
+
+namespace
+{
+
+struct L1Rig
+{
+    MeshShape mesh{4, 4};
+    AddressMap amap{mesh, 128};
+    MemParams params;
+    std::vector<PacketPtr> sent;
+    std::unique_ptr<L1Cache> l1;
+    Cycle now = 0;
+    unsigned completions = 0;
+
+    L1Rig()
+    {
+        l1 = std::make_unique<L1Cache>(
+            1, amap, params, [this](const PacketPtr &pkt, Cycle) {
+                sent.push_back(pkt);
+            });
+    }
+
+    void
+    run(Cycle cycles)
+    {
+        for (Cycle end = now + cycles; now < end; ++now)
+            l1->tick(now);
+    }
+
+    bool
+    request(Addr a, bool write)
+    {
+        return l1->request(a, write, now,
+                           [this](Cycle) { ++completions; });
+    }
+
+    void
+    respond(MsgType type, Addr a, std::uint32_t aux = 0)
+    {
+        auto pkt = makePacket(type, amap.homeOf(a), 1, a);
+        pkt->aux = aux;
+        l1->handle(pkt, now);
+    }
+
+    PacketPtr
+    lastOfType(MsgType t)
+    {
+        for (auto it = sent.rbegin(); it != sent.rend(); ++it)
+            if ((*it)->type == t)
+                return *it;
+        return nullptr;
+    }
+};
+
+} // namespace
+
+TEST(L1Cache, MissSendsGetSAndFillsOnData)
+{
+    L1Rig rig;
+    ASSERT_TRUE(rig.request(0x1000, false));
+    auto gets = rig.lastOfType(MsgType::GetS);
+    ASSERT_NE(gets, nullptr);
+    EXPECT_EQ(gets->dst, rig.amap.homeOf(0x1000));
+    rig.respond(MsgType::Data, 0x1000);
+    EXPECT_EQ(rig.completions, 1u);
+    EXPECT_EQ(rig.l1->lineState(0x1000), CoherState::S);
+    // Fill confirmation closes the home-side transaction.
+    EXPECT_NE(rig.lastOfType(MsgType::Unblock), nullptr);
+}
+
+TEST(L1Cache, WriteMissFillsModified)
+{
+    L1Rig rig;
+    ASSERT_TRUE(rig.request(0x2000, true));
+    ASSERT_NE(rig.lastOfType(MsgType::GetM), nullptr);
+    rig.respond(MsgType::DataExcl, 0x2000);
+    EXPECT_EQ(rig.l1->lineState(0x2000), CoherState::M);
+}
+
+TEST(L1Cache, ReadMissGrantedExclusiveIsE)
+{
+    L1Rig rig;
+    ASSERT_TRUE(rig.request(0x2000, false));
+    rig.respond(MsgType::DataExcl, 0x2000);
+    EXPECT_EQ(rig.l1->lineState(0x2000), CoherState::E);
+}
+
+TEST(L1Cache, HitCompletesAfterLatency)
+{
+    L1Rig rig;
+    ASSERT_TRUE(rig.request(0x1000, false));
+    rig.respond(MsgType::Data, 0x1000);
+    rig.completions = 0;
+    ASSERT_TRUE(rig.request(0x1000, false)); // hit
+    EXPECT_EQ(rig.completions, 0u);
+    rig.run(rig.params.l1Latency + 1);
+    EXPECT_EQ(rig.completions, 1u);
+    EXPECT_EQ(rig.l1->stats().hits, 1u);
+}
+
+TEST(L1Cache, ReadsCoalesceIntoOneMshr)
+{
+    L1Rig rig;
+    ASSERT_TRUE(rig.request(0x1000, false));
+    ASSERT_TRUE(rig.request(0x1000, false));
+    EXPECT_EQ(rig.l1->outstanding(), 1u);
+    rig.respond(MsgType::Data, 0x1000);
+    EXPECT_EQ(rig.completions, 2u);
+}
+
+TEST(L1Cache, WriteUnderReadMissIsRejected)
+{
+    L1Rig rig;
+    ASSERT_TRUE(rig.request(0x1000, false));
+    EXPECT_FALSE(rig.request(0x1000, true))
+        << "incompatible request must retry later";
+}
+
+TEST(L1Cache, MshrLimitEnforced)
+{
+    L1Rig rig;
+    rig.params.l1Mshrs = 4; // rebuild with a small limit
+    rig.l1 = std::make_unique<L1Cache>(
+        1, rig.amap, rig.params,
+        [&](const PacketPtr &pkt, Cycle) { rig.sent.push_back(pkt); });
+    for (unsigned i = 0; i < 4; ++i)
+        ASSERT_TRUE(rig.request(0x1000 + 0x80 * i, false));
+    EXPECT_FALSE(rig.request(0x9000, false));
+    EXPECT_GE(rig.l1->stats().mshrRejects, 1u);
+}
+
+TEST(L1Cache, InvInvalidatesAndAcks)
+{
+    L1Rig rig;
+    ASSERT_TRUE(rig.request(0x1000, false));
+    rig.respond(MsgType::Data, 0x1000);
+    rig.respond(MsgType::Inv, 0x1000, 0x500);
+    EXPECT_EQ(rig.l1->lineState(0x1000), CoherState::I);
+    auto ack = rig.lastOfType(MsgType::InvAck);
+    ASSERT_NE(ack, nullptr);
+    EXPECT_EQ(ack->aux, 0x500u) << "the tx tag must be echoed";
+}
+
+TEST(L1Cache, FetchDowngradesOwnerToO)
+{
+    L1Rig rig;
+    ASSERT_TRUE(rig.request(0x1000, true));
+    rig.respond(MsgType::DataExcl, 0x1000);
+    rig.respond(MsgType::Fetch, 0x1000, 0x300); // downgrade fetch
+    EXPECT_EQ(rig.l1->lineState(0x1000), CoherState::O);
+    auto resp = rig.lastOfType(MsgType::FetchResp);
+    ASSERT_NE(resp, nullptr);
+    EXPECT_EQ(resp->aux & ~2u, 0x300u);
+    EXPECT_EQ(resp->aux & 2u, 0u) << "owner had the data";
+}
+
+TEST(L1Cache, InvalidatingFetchDropsLine)
+{
+    L1Rig rig;
+    ASSERT_TRUE(rig.request(0x1000, true));
+    rig.respond(MsgType::DataExcl, 0x1000);
+    rig.respond(MsgType::Fetch, 0x1000, 0x301); // bit0: invalidate
+    EXPECT_EQ(rig.l1->lineState(0x1000), CoherState::I);
+}
+
+TEST(L1Cache, FetchWithoutLineReportsNoData)
+{
+    L1Rig rig;
+    rig.respond(MsgType::Fetch, 0x7000, 0x100);
+    auto resp = rig.lastOfType(MsgType::FetchResp);
+    ASSERT_NE(resp, nullptr);
+    EXPECT_NE(resp->aux & 2u, 0u);
+}
+
+TEST(L1Cache, DirtyEvictionWritesBack)
+{
+    L1Rig rig;
+    // Fill all 4 ways of one set with M lines, then one more.
+    const Addr stride = 64 * 128; // l1Sets * lineBytes
+    for (unsigned i = 0; i < 5; ++i) {
+        Addr a = 0x1000 + i * stride;
+        ASSERT_TRUE(rig.request(a, true));
+        rig.respond(MsgType::DataExcl, a);
+    }
+    EXPECT_GE(rig.l1->stats().evictions, 1u);
+    EXPECT_NE(rig.lastOfType(MsgType::PutM), nullptr);
+}
+
+TEST(L1Cache, CleanExclusiveEvictionNotifiesHome)
+{
+    L1Rig rig;
+    const Addr stride = 64 * 128;
+    for (unsigned i = 0; i < 5; ++i) {
+        Addr a = 0x1000 + i * stride;
+        ASSERT_TRUE(rig.request(a, false));
+        rig.respond(MsgType::DataExcl, a); // E fills
+    }
+    EXPECT_NE(rig.lastOfType(MsgType::PutE), nullptr);
+}

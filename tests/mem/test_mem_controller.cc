@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the memory controller model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/mem_controller.hh"
+
+using namespace ocor;
+
+namespace
+{
+
+struct McRig
+{
+    MemParams params;
+    std::vector<std::pair<PacketPtr, Cycle>> sent;
+    MemController mc;
+    Cycle now = 0;
+
+    McRig()
+        : mc(2, params,
+             [this](const PacketPtr &pkt, Cycle c) {
+                 sent.emplace_back(pkt, c);
+             })
+    {}
+
+    void
+    run(Cycle cycles)
+    {
+        for (Cycle end = now + cycles; now < end; ++now)
+            mc.tick(now);
+    }
+};
+
+} // namespace
+
+TEST(MemController, ReadRespondsAfterDramLatency)
+{
+    McRig rig;
+    auto req = makePacket(MsgType::MemRead, 5, 2, 0x4000);
+    rig.mc.handle(req, 0);
+    rig.run(rig.params.dramLatency);
+    EXPECT_TRUE(rig.sent.empty());
+    rig.run(2);
+    ASSERT_EQ(rig.sent.size(), 1u);
+    EXPECT_EQ(rig.sent[0].first->type, MsgType::MemResp);
+    EXPECT_EQ(rig.sent[0].first->dst, 5u);
+    EXPECT_EQ(rig.sent[0].first->addr, 0x4000u);
+    EXPECT_EQ(rig.sent[0].first->numFlits, 8u);
+}
+
+TEST(MemController, WritesAreAbsorbed)
+{
+    McRig rig;
+    rig.mc.handle(makePacket(MsgType::MemWrite, 5, 2, 0x4000), 0);
+    rig.run(rig.params.dramLatency + 10);
+    EXPECT_TRUE(rig.sent.empty());
+    EXPECT_EQ(rig.mc.stats().writes, 1u);
+    EXPECT_TRUE(rig.mc.idle());
+}
+
+TEST(MemController, ServiceIntervalSpacesRequests)
+{
+    McRig rig;
+    // Two reads in the same cycle: responses must be spaced by the
+    // service interval, not returned together.
+    rig.mc.handle(makePacket(MsgType::MemRead, 5, 2, 0x4000), 0);
+    rig.mc.handle(makePacket(MsgType::MemRead, 6, 2, 0x8000), 0);
+    rig.run(rig.params.dramLatency + rig.params.mcServiceInterval
+            + 5);
+    ASSERT_EQ(rig.sent.size(), 2u);
+    Cycle gap = rig.sent[1].second - rig.sent[0].second;
+    EXPECT_GE(gap, rig.params.mcServiceInterval);
+}
+
+TEST(MemController, QueueDrainsInOrder)
+{
+    McRig rig;
+    for (unsigned i = 0; i < 5; ++i)
+        rig.mc.handle(makePacket(MsgType::MemRead, i, 2, 0x100 * i),
+                      0);
+    rig.run(rig.params.dramLatency
+            + 6 * rig.params.mcServiceInterval);
+    ASSERT_EQ(rig.sent.size(), 5u);
+    for (unsigned i = 0; i < 5; ++i)
+        EXPECT_EQ(rig.sent[i].first->dst, i);
+    EXPECT_GE(rig.mc.stats().queuePeak, 4u);
+}
+
+TEST(MemControllerDeath, RejectsWrongMessage)
+{
+    McRig rig;
+    EXPECT_DEATH(rig.mc.handle(
+                     makePacket(MsgType::GetS, 0, 2, 0x100), 0),
+                 "unexpected");
+}

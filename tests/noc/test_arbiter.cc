@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit tests for the rank arbiter and the one-hot LPA (Figure 9).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "noc/arbiter.hh"
+
+using namespace ocor;
+
+TEST(Arbiter, NoRequestersReturnsMinusOne)
+{
+    Arbiter arb(4);
+    std::vector<std::int64_t> ranks{-1, -1, -1, -1};
+    EXPECT_EQ(arb.pick(ranks), -1);
+}
+
+TEST(Arbiter, SingleRequesterWins)
+{
+    Arbiter arb(4);
+    std::vector<std::int64_t> ranks{-1, 0, -1, -1};
+    EXPECT_EQ(arb.pick(ranks), 1);
+}
+
+TEST(Arbiter, HighestRankWins)
+{
+    Arbiter arb(4);
+    std::vector<std::int64_t> ranks{3, 9, 2, 9};
+    int w = arb.pick(ranks);
+    EXPECT_TRUE(w == 1 || w == 3);
+}
+
+TEST(Arbiter, RoundRobinRotatesTies)
+{
+    Arbiter arb(3);
+    std::vector<std::int64_t> ranks{0, 0, 0};
+    std::vector<int> wins;
+    for (int i = 0; i < 6; ++i)
+        wins.push_back(arb.pick(ranks));
+    // Every input must win exactly twice over 6 rounds.
+    for (int input = 0; input < 3; ++input)
+        EXPECT_EQ(std::count(wins.begin(), wins.end(), input), 2)
+            << "input " << input;
+}
+
+TEST(Arbiter, PointerAdvancesPastWinner)
+{
+    Arbiter arb(4);
+    std::vector<std::int64_t> ranks{0, 0, 0, 0};
+    int first = arb.pick(ranks);
+    int second = arb.pick(ranks);
+    EXPECT_NE(first, second);
+}
+
+TEST(Arbiter, RankBeatsRoundRobinPosition)
+{
+    Arbiter arb(4);
+    std::vector<std::int64_t> equal{0, 0, 0, 0};
+    arb.pick(equal); // pointer now at 1
+    std::vector<std::int64_t> ranks{5, 0, 0, 0};
+    EXPECT_EQ(arb.pick(ranks), 0); // rank 5 wins despite pointer
+}
+
+TEST(ArbiterDeath, SizeMismatchPanics)
+{
+    Arbiter arb(4);
+    std::vector<std::int64_t> ranks{0, 0};
+    EXPECT_DEATH(arb.pick(ranks), "ranks");
+}
+
+// ---- LPA (Figure 9) ---------------------------------------------------
+
+namespace
+{
+OcorConfig
+enabledCfg()
+{
+    OcorConfig cfg;
+    cfg.enabled = true;
+    return cfg;
+}
+
+LpaInput
+lockInput(const OcorConfig &cfg, unsigned rtr, std::uint64_t prog)
+{
+    LpaInput in;
+    in.valid = true;
+    in.fields = makePriority(cfg, PriorityClass::LockTry, rtr, prog);
+    return in;
+}
+
+LpaInput
+normalInput()
+{
+    LpaInput in;
+    in.valid = true;
+    return in;
+}
+} // namespace
+
+TEST(Lpa, EmptyInputsYieldNothing)
+{
+    auto cfg = enabledCfg();
+    LpaResult r = lpaSelect(cfg, {});
+    EXPECT_EQ(r.indexMask, 0u);
+    EXPECT_EQ(r.highestLevel, 0u);
+}
+
+TEST(Lpa, OnlyNormalPacketsTieAtLevelZero)
+{
+    auto cfg = enabledCfg();
+    LpaResult r = lpaSelect(cfg, {normalInput(), normalInput()});
+    EXPECT_EQ(r.highestLevel, 0u);
+    EXPECT_EQ(r.indexMask, 0b11u);
+}
+
+TEST(Lpa, FigureNineExample)
+{
+    // Three packets with priorities high, high, middle: the LPA
+    // reports the highest level and the index mask "110"-style
+    // (inputs 0 and 1).
+    auto cfg = enabledCfg();
+    auto high1 = lockInput(cfg, 1, 0);
+    auto high2 = lockInput(cfg, 1, 0);
+    auto mid = lockInput(cfg, 64, 0);
+    LpaResult r = lpaSelect(cfg, {high1, high2, mid});
+    EXPECT_EQ(r.indexMask, 0b011u);
+    EXPECT_NE(r.highestLevel, 0u);
+}
+
+TEST(Lpa, CheckBitGatesPriority)
+{
+    // A lock packet always beats normal packets.
+    auto cfg = enabledCfg();
+    LpaResult r = lpaSelect(cfg, {normalInput(),
+                                  lockInput(cfg, 128, 100)});
+    EXPECT_EQ(r.indexMask, 0b10u);
+}
+
+TEST(Lpa, SlowProgressFiltersFirst)
+{
+    auto cfg = enabledCfg();
+    auto fast_urgent = lockInput(cfg, 1, 100); // fast thread, low RTR
+    auto slow_relaxed = lockInput(cfg, 128, 0); // slow thread
+    LpaResult r = lpaSelect(cfg, {fast_urgent, slow_relaxed});
+    EXPECT_EQ(r.indexMask, 0b10u) << "slow progress must win";
+}
+
+TEST(Lpa, DisabledTreatsAllAsNormal)
+{
+    OcorConfig off; // disabled
+    OcorConfig on = enabledCfg();
+    LpaInput a;
+    a.valid = true;
+    a.fields = makePriority(on, PriorityClass::LockTry, 1, 0);
+    LpaResult r = lpaSelect(off, {a, normalInput()});
+    EXPECT_EQ(r.highestLevel, 0u);
+    EXPECT_EQ(r.indexMask, 0b11u);
+}
+
+TEST(Lpa, InvalidInputsExcluded)
+{
+    auto cfg = enabledCfg();
+    LpaInput invalid;
+    invalid.valid = false;
+    invalid.fields = makePriority(cfg, PriorityClass::LockTry, 1, 0);
+    LpaResult r = lpaSelect(cfg, {invalid, lockInput(cfg, 128, 0)});
+    EXPECT_EQ(r.indexMask, 0b10u);
+}
+
+TEST(Lpa, AgreesWithPriorityRankOrdering)
+{
+    // Property: for any pair of candidate packets, the LPA winner is
+    // the one priorityRank() ranks higher (or both on a tie).
+    auto cfg = enabledCfg();
+    std::vector<PriorityFields> fields;
+    for (unsigned rtr : {1u, 17u, 64u, 128u})
+        for (std::uint64_t prog : {0u, 5u, 40u})
+            fields.push_back(
+                makePriority(cfg, PriorityClass::LockTry, rtr, prog));
+    fields.push_back(makePriority(cfg, PriorityClass::Wakeup, 1, 0));
+    fields.push_back(PriorityFields{}); // normal
+
+    for (const auto &fa : fields) {
+        for (const auto &fb : fields) {
+            LpaInput a{true, fa}, b{true, fb};
+            LpaResult r = lpaSelect(cfg, {a, b});
+            auto ra = priorityRank(cfg, fa);
+            auto rb = priorityRank(cfg, fb);
+            if (ra > rb)
+                EXPECT_EQ(r.indexMask, 0b01u);
+            else if (rb > ra)
+                EXPECT_EQ(r.indexMask, 0b10u);
+            else
+                EXPECT_EQ(r.indexMask, 0b11u);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for packet construction and classification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/flit.hh"
+#include "noc/packet.hh"
+
+using namespace ocor;
+
+TEST(Packet, MakePacketAssignsUniqueIds)
+{
+    auto a = makePacket(MsgType::GetS, 0, 1, 0x80);
+    auto b = makePacket(MsgType::GetS, 0, 1, 0x80);
+    EXPECT_NE(a->id, b->id);
+}
+
+TEST(Packet, SizeByType)
+{
+    // Control packets: 1 flit. Data-carrying packets: 8 flits
+    // (128 B block over a 128-bit datapath, Table 2).
+    EXPECT_EQ(packetFlits(MsgType::GetS), 1u);
+    EXPECT_EQ(packetFlits(MsgType::GetM), 1u);
+    EXPECT_EQ(packetFlits(MsgType::Inv), 1u);
+    EXPECT_EQ(packetFlits(MsgType::InvAck), 1u);
+    EXPECT_EQ(packetFlits(MsgType::LockTry), 1u);
+    EXPECT_EQ(packetFlits(MsgType::FutexWake), 1u);
+    EXPECT_EQ(packetFlits(MsgType::Data), 8u);
+    EXPECT_EQ(packetFlits(MsgType::DataExcl), 8u);
+    EXPECT_EQ(packetFlits(MsgType::PutM), 8u);
+    EXPECT_EQ(packetFlits(MsgType::MemResp), 8u);
+    EXPECT_EQ(packetFlits(MsgType::MemWrite), 8u);
+    EXPECT_EQ(packetFlits(MsgType::FetchResp), 8u);
+}
+
+TEST(Packet, LockProtocolClassification)
+{
+    EXPECT_TRUE(isLockProtocol(MsgType::LockTry));
+    EXPECT_TRUE(isLockProtocol(MsgType::LockGrant));
+    EXPECT_TRUE(isLockProtocol(MsgType::LockFail));
+    EXPECT_TRUE(isLockProtocol(MsgType::LockFreeNotify));
+    EXPECT_TRUE(isLockProtocol(MsgType::LockRelease));
+    EXPECT_TRUE(isLockProtocol(MsgType::FutexWait));
+    EXPECT_TRUE(isLockProtocol(MsgType::FutexWake));
+    EXPECT_TRUE(isLockProtocol(MsgType::WakeNotify));
+    EXPECT_FALSE(isLockProtocol(MsgType::GetS));
+    EXPECT_FALSE(isLockProtocol(MsgType::Data));
+    EXPECT_FALSE(isLockProtocol(MsgType::MemRead));
+}
+
+TEST(Packet, EveryTypeHasAName)
+{
+    for (unsigned t = 0;
+         t < static_cast<unsigned>(MsgType::NumTypes); ++t) {
+        const char *name = msgTypeName(static_cast<MsgType>(t));
+        EXPECT_STRNE(name, "?") << "type " << t;
+    }
+}
+
+TEST(Packet, DescribeMentionsTypeAndEndpoints)
+{
+    auto p = makePacket(MsgType::LockTry, 3, 9, 0xabc0);
+    auto d = p->describe();
+    EXPECT_NE(d.find("LockTry"), std::string::npos);
+    EXPECT_NE(d.find("3->9"), std::string::npos);
+}
+
+TEST(Flit, TypeForPositions)
+{
+    EXPECT_EQ(flitTypeFor(0, 1), FlitType::HeadTail);
+    EXPECT_EQ(flitTypeFor(0, 8), FlitType::Head);
+    EXPECT_EQ(flitTypeFor(3, 8), FlitType::Body);
+    EXPECT_EQ(flitTypeFor(7, 8), FlitType::Tail);
+}
+
+TEST(Flit, HeadTailPredicates)
+{
+    Flit f;
+    f.type = FlitType::HeadTail;
+    EXPECT_TRUE(f.isHead());
+    EXPECT_TRUE(f.isTail());
+    f.type = FlitType::Head;
+    EXPECT_TRUE(f.isHead());
+    EXPECT_FALSE(f.isTail());
+    f.type = FlitType::Body;
+    EXPECT_FALSE(f.isHead());
+    EXPECT_FALSE(f.isTail());
+    f.type = FlitType::Tail;
+    EXPECT_FALSE(f.isHead());
+    EXPECT_TRUE(f.isTail());
+}
+
+TEST(Packet, DefaultPriorityIsEmpty)
+{
+    auto p = makePacket(MsgType::Data, 0, 1, 0);
+    EXPECT_FALSE(p->priority.check);
+    EXPECT_EQ(p->priority.priorityBits, 0u);
+}

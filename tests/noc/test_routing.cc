@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for mesh geometry and XY routing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/routing.hh"
+
+using namespace ocor;
+
+TEST(MeshShape, CoordinatesRoundTrip)
+{
+    MeshShape m{8, 8};
+    for (NodeId n = 0; n < m.numNodes(); ++n)
+        EXPECT_EQ(m.nodeAt(m.xOf(n), m.yOf(n)), n);
+}
+
+TEST(MeshShape, NeighborsInterior)
+{
+    MeshShape m{8, 8};
+    NodeId c = m.nodeAt(3, 3);
+    EXPECT_EQ(m.neighbor(c, PortNorth), m.nodeAt(3, 2));
+    EXPECT_EQ(m.neighbor(c, PortSouth), m.nodeAt(3, 4));
+    EXPECT_EQ(m.neighbor(c, PortEast), m.nodeAt(4, 3));
+    EXPECT_EQ(m.neighbor(c, PortWest), m.nodeAt(2, 3));
+}
+
+TEST(MeshShape, NeighborsAtEdges)
+{
+    MeshShape m{8, 8};
+    EXPECT_EQ(m.neighbor(m.nodeAt(0, 0), PortNorth), invalidNode);
+    EXPECT_EQ(m.neighbor(m.nodeAt(0, 0), PortWest), invalidNode);
+    EXPECT_EQ(m.neighbor(m.nodeAt(7, 7), PortSouth), invalidNode);
+    EXPECT_EQ(m.neighbor(m.nodeAt(7, 7), PortEast), invalidNode);
+}
+
+TEST(MeshShape, HopsIsManhattan)
+{
+    MeshShape m{8, 8};
+    EXPECT_EQ(m.hops(m.nodeAt(0, 0), m.nodeAt(7, 7)), 14u);
+    EXPECT_EQ(m.hops(m.nodeAt(2, 3), m.nodeAt(2, 3)), 0u);
+    EXPECT_EQ(m.hops(m.nodeAt(5, 1), m.nodeAt(2, 6)), 8u);
+}
+
+TEST(XyRoute, LocalDelivery)
+{
+    MeshShape m{8, 8};
+    for (NodeId n = 0; n < m.numNodes(); ++n)
+        EXPECT_EQ(xyRoute(m, n, n), PortLocal);
+}
+
+TEST(XyRoute, XBeforeY)
+{
+    MeshShape m{8, 8};
+    // From (1,1) to (5,6): must go East until x matches.
+    EXPECT_EQ(xyRoute(m, m.nodeAt(1, 1), m.nodeAt(5, 6)), PortEast);
+    // Same column: go South.
+    EXPECT_EQ(xyRoute(m, m.nodeAt(5, 1), m.nodeAt(5, 6)), PortSouth);
+    // West and North cases.
+    EXPECT_EQ(xyRoute(m, m.nodeAt(5, 6), m.nodeAt(1, 6)), PortWest);
+    EXPECT_EQ(xyRoute(m, m.nodeAt(1, 6), m.nodeAt(1, 1)), PortNorth);
+}
+
+TEST(XyRoute, EveryPairTerminates)
+{
+    // Property: following xyRoute step by step always reaches dst in
+    // exactly hops(src, dst) steps (deadlock-free, minimal).
+    MeshShape m{4, 4};
+    for (NodeId s = 0; s < m.numNodes(); ++s) {
+        for (NodeId d = 0; d < m.numNodes(); ++d) {
+            NodeId here = s;
+            unsigned steps = 0;
+            while (here != d) {
+                unsigned port = xyRoute(m, here, d);
+                ASSERT_NE(port, static_cast<unsigned>(PortLocal));
+                here = m.neighbor(here, port);
+                ASSERT_NE(here, invalidNode);
+                ASSERT_LE(++steps, 16u);
+            }
+            EXPECT_EQ(steps, m.hops(s, d));
+        }
+    }
+}
+
+TEST(XyRoute, NonSquareMesh)
+{
+    MeshShape m{8, 4};
+    EXPECT_EQ(m.numNodes(), 32u);
+    EXPECT_EQ(xyRoute(m, m.nodeAt(0, 0), m.nodeAt(7, 3)), PortEast);
+    NodeId here = m.nodeAt(0, 0);
+    unsigned steps = 0;
+    while (here != m.nodeAt(7, 3)) {
+        here = m.neighbor(here, xyRoute(m, here, m.nodeAt(7, 3)));
+        ++steps;
+    }
+    EXPECT_EQ(steps, 10u);
+}
+
+TEST(PortName, AllNamed)
+{
+    EXPECT_STREQ(portName(PortNorth), "N");
+    EXPECT_STREQ(portName(PortEast), "E");
+    EXPECT_STREQ(portName(PortSouth), "S");
+    EXPECT_STREQ(portName(PortWest), "W");
+    EXPECT_STREQ(portName(PortLocal), "L");
+    EXPECT_STREQ(portName(99), "?");
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the Section-2.2 locking disciplines: pure spinlock,
+ * pure queueing lock, and the queue spinlock that combines them.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+
+using namespace ocor;
+
+namespace
+{
+
+std::vector<Program>
+contended(unsigned n, unsigned iters)
+{
+    std::vector<Program> out;
+    for (unsigned t = 0; t < n; ++t) {
+        ProgramBuilder b;
+        for (unsigned i = 0; i < iters; ++i)
+            b.compute(200 + 31 * t).lock(0).compute(80).unlock(0);
+        out.push_back(b.build());
+    }
+    return out;
+}
+
+RunMetrics
+runMode(LockMode mode, unsigned iters = 4)
+{
+    SystemConfig cfg;
+    cfg.mesh = MeshShape{2, 2};
+    cfg.numThreads = 4;
+    cfg.os.lockMode = mode;
+    cfg.maxCycles = 5'000'000;
+    Simulator sim(cfg, contended(4, iters), BgTrafficConfig{});
+    return sim.run();
+}
+
+} // namespace
+
+TEST(LockModes, Names)
+{
+    EXPECT_STREQ(lockModeName(LockMode::QueueSpinlock),
+                 "queue-spinlock");
+    EXPECT_STREQ(lockModeName(LockMode::PureSpin), "spinlock");
+    EXPECT_STREQ(lockModeName(LockMode::PureSleep),
+                 "queueing-lock");
+}
+
+TEST(LockModes, AllModesComplete)
+{
+    for (LockMode mode : {LockMode::QueueSpinlock,
+                          LockMode::PureSpin,
+                          LockMode::PureSleep}) {
+        RunMetrics m = runMode(mode);
+        EXPECT_EQ(m.totalAcquisitions(), 16u)
+            << lockModeName(mode);
+    }
+}
+
+TEST(LockModes, PureSpinNeverSleeps)
+{
+    RunMetrics m = runMode(LockMode::PureSpin, 6);
+    EXPECT_EQ(m.totalSleeps(), 0u);
+    EXPECT_DOUBLE_EQ(m.spinWinPct(), 100.0);
+}
+
+TEST(LockModes, PureSleepParksOnContention)
+{
+    RunMetrics m = runMode(LockMode::PureSleep, 6);
+    // With four threads on one hot lock, contended acquisitions all
+    // go through the sleeping path.
+    EXPECT_GT(m.totalSleeps(), 0u);
+    EXPECT_LT(m.spinWinPct(), 100.0);
+}
+
+TEST(LockModes, QueueSpinlockBetweenExtremes)
+{
+    // The combined scheme sleeps no more often than the queueing
+    // lock and at least as often as the spinlock (Section 2.2's
+    // motivation for combining them).
+    RunMetrics spin = runMode(LockMode::PureSpin, 6);
+    RunMetrics qsl = runMode(LockMode::QueueSpinlock, 6);
+    RunMetrics sleep = runMode(LockMode::PureSleep, 6);
+    EXPECT_LE(spin.totalSleeps(), qsl.totalSleeps());
+    EXPECT_LE(qsl.totalSleeps(), sleep.totalSleeps());
+}
+
+TEST(LockModes, SleepCostShowsInRoi)
+{
+    // Under light contention, paying a context switch per
+    // acquisition must not be cheaper than spinning briefly.
+    RunMetrics spin = runMode(LockMode::PureSpin, 6);
+    RunMetrics sleep = runMode(LockMode::PureSleep, 6);
+    EXPECT_LT(spin.roiFinish, sleep.roiFinish);
+}

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Failure injection: stray, stale and duplicate protocol messages
+ * must be absorbed gracefully (counted, warned about, never
+ * corrupting state). These are the races a real NoC produces under
+ * reordering, so every handler needs a safe default path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mem/l2_directory.hh"
+#include "os/lock_manager.hh"
+#include "os/qspinlock.hh"
+
+using namespace ocor;
+
+namespace
+{
+
+SendFn
+nullSend()
+{
+    return [](const PacketPtr &, Cycle) {};
+}
+
+} // namespace
+
+TEST(FailureInjection, StaleInvAckIsCountedNotApplied)
+{
+    MeshShape mesh{4, 4};
+    AddressMap amap(mesh, 128);
+    MemParams params;
+    L2Directory l2(0, amap, params, nullSend());
+
+    auto ack = makePacket(MsgType::InvAck, 3, 0, 0x4000);
+    ack->aux = 0x1234 << 8; // tag of a transaction that never was
+    l2.handle(ack, 0);
+    for (Cycle c = 0; c < params.l2Latency + 2; ++c)
+        l2.tick(c);
+    EXPECT_EQ(l2.stats().staleAcks, 1u);
+    EXPECT_FALSE(l2.lineBusy(0x4000));
+}
+
+TEST(FailureInjection, StaleFetchRespIgnored)
+{
+    MeshShape mesh{4, 4};
+    AddressMap amap(mesh, 128);
+    MemParams params;
+    L2Directory l2(0, amap, params, nullSend());
+
+    auto resp = makePacket(MsgType::FetchResp, 3, 0, 0x4000);
+    resp->aux = (7u << 8) | 1;
+    l2.handle(resp, 0);
+    for (Cycle c = 0; c < params.l2Latency + 2; ++c)
+        l2.tick(c);
+    EXPECT_EQ(l2.stats().staleAcks, 1u);
+}
+
+TEST(FailureInjection, StaleUnblockIgnored)
+{
+    MeshShape mesh{4, 4};
+    AddressMap amap(mesh, 128);
+    MemParams params;
+    L2Directory l2(0, amap, params, nullSend());
+
+    auto unb = makePacket(MsgType::Unblock, 3, 0, 0x4000);
+    l2.handle(unb, 0);
+    for (Cycle c = 0; c < params.l2Latency + 2; ++c)
+        l2.tick(c);
+    EXPECT_EQ(l2.stats().staleAcks, 1u);
+    EXPECT_FALSE(l2.lineBusy(0x4000));
+}
+
+TEST(FailureInjection, PutFromNonOwnerIsHarmless)
+{
+    MeshShape mesh{4, 4};
+    AddressMap amap(mesh, 128);
+    MemParams params;
+    L2Directory l2(0, amap, params, nullSend());
+
+    auto put = makePacket(MsgType::PutE, 5, 0, 0x4000);
+    l2.handle(put, 0);
+    for (Cycle c = 0; c < params.l2Latency + 2; ++c)
+        l2.tick(c);
+    EXPECT_EQ(l2.ownerOf(0x4000), invalidNode);
+}
+
+TEST(FailureInjection, WakeForEmptyQueueIsNoOp)
+{
+    OsParams os;
+    LockManager mgr(0, os, nullSend());
+    auto wake = makePacket(MsgType::FutexWake, 1, 0, 0x1000);
+    wake->thread = 1;
+    mgr.handle(wake, 0);
+    for (Cycle c = 0; c < os.homeLatency + 2; ++c)
+        mgr.tick(c);
+    EXPECT_FALSE(mgr.heldNow(0x1000));
+    EXPECT_EQ(mgr.stats().wakes, 0u);
+}
+
+TEST(FailureInjection, DuplicateWakesGrantOnlyOnce)
+{
+    OsParams os;
+    unsigned wake_notifies = 0;
+    LockManager mgr(0, os, [&](const PacketPtr &pkt, Cycle) {
+        if (pkt->type == MsgType::WakeNotify)
+            ++wake_notifies;
+    });
+    auto deliver = [&](MsgType t, ThreadId tid) {
+        auto pkt = makePacket(t, tid, 0, 0x1000);
+        pkt->thread = tid;
+        mgr.handle(pkt, 0);
+        static Cycle now = 0;
+        for (Cycle end = now + os.homeLatency + 2; now < end; ++now)
+            mgr.tick(now);
+    };
+    deliver(MsgType::LockTry, 1);    // holder
+    deliver(MsgType::FutexWait, 2);  // sleeper
+    deliver(MsgType::LockRelease, 1);
+    deliver(MsgType::FutexWake, 1);
+    deliver(MsgType::FutexWake, 1);  // duplicate
+    deliver(MsgType::FutexWake, 1);  // duplicate
+    EXPECT_EQ(wake_notifies, 1u);
+    EXPECT_EQ(mgr.holderOf(0x1000), 2u);
+}
+
+TEST(FailureInjection, StaleLockFailWarnsOnly)
+{
+    MeshShape mesh{2, 2};
+    AddressMap amap(mesh, 128);
+    OcorConfig ocor;
+    OsParams os;
+    Pcb pcb;
+    pcb.tid = 0;
+    pcb.node = 0;
+    QSpinlock qs(pcb, ocor, os, amap, nullSend());
+    auto fail = makePacket(MsgType::LockFail, 1, 0, 0x1000);
+    fail->thread = 0;
+    qs.handle(fail, 0); // no acquisition in progress
+    EXPECT_FALSE(qs.waiting());
+    EXPECT_FALSE(qs.holding());
+}
+
+TEST(FailureInjection, LateGrantDuringSleepPrepStillAccepted)
+{
+    // The futex re-check window: a grant that arrives after the
+    // budget expired (thread in SleepPrep) must still take effect
+    // and cancel the sleep.
+    MeshShape mesh{2, 2};
+    AddressMap amap(mesh, 128);
+    OcorConfig ocor;
+    OsParams os;
+    Pcb pcb;
+    pcb.tid = 0;
+    pcb.node = 0;
+    unsigned futex_waits = 0;
+    QSpinlock qs(pcb, ocor, os, amap,
+                 [&](const PacketPtr &pkt, Cycle) {
+                     if (pkt->type == MsgType::FutexWait)
+                         ++futex_waits;
+                 });
+    bool acquired = false;
+    qs.acquire(0x1000, 0, [&](Cycle) { acquired = true; });
+
+    // Fail immediately, then run to budget expiry (SleepPrep).
+    auto fail = makePacket(MsgType::LockFail, 1, 0, 0x1000);
+    fail->thread = 0;
+    qs.handle(fail, 0);
+    Cycle budget =
+        static_cast<Cycle>(ocor.maxSpinCount) * os.retryInterval;
+    Cycle now = 0;
+    while (now < budget + 10 &&
+           pcb.state != ThreadState::SleepPrep) {
+        qs.tick(now);
+        if (pcb.state == ThreadState::Spinning && qs.waiting()) {
+            auto f = makePacket(MsgType::LockFail, 1, 0, 0x1000);
+            f->thread = 0;
+            qs.handle(f, now);
+        }
+        ++now;
+    }
+    ASSERT_EQ(pcb.state, ThreadState::SleepPrep);
+
+    auto grant = makePacket(MsgType::LockGrant, 1, 0, 0x1000);
+    grant->thread = 0;
+    qs.handle(grant, now);
+    EXPECT_TRUE(acquired);
+    EXPECT_EQ(pcb.state, ThreadState::InCS);
+    // The pending SleepPrep timer must not register a futex wait.
+    for (Cycle end = now + os.sleepPrepCycles + 10; now < end; ++now)
+        qs.tick(now);
+    EXPECT_EQ(futex_waits, 0u);
+}

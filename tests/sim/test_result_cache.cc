@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for the experiment result cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "sim/result_cache.hh"
+
+using namespace ocor;
+
+namespace
+{
+
+class ResultCacheTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = ::testing::TempDir() + "ocor_cache_test.tsv";
+        std::remove(path_.c_str());
+    }
+
+    void
+    TearDown() override
+    {
+        std::remove(path_.c_str());
+    }
+
+    RunMetrics
+    sampleMetrics()
+    {
+        RunMetrics m;
+        m.roiFinish = 12345;
+        m.threads = 16;
+        ThreadCounters c;
+        c.computeCycles = 1000;
+        c.csCycles = 200;
+        c.blockedHeldCycles = 300;
+        c.blockedIdleCycles = 400;
+        c.acquisitions = 48;
+        c.spinWins = 40;
+        c.sleepWins = 8;
+        c.retries = 99;
+        c.sleeps = 8;
+        m.perThread.push_back(c);
+        m.packetsInjected = 777;
+        m.flitsInjected = 3000;
+        m.lockPacketsInjected = 111;
+        m.avgPacketLatency = 31.5;
+        m.avgLockPacketLatency = 20.25;
+        m.avgDataPacketLatency = 40.75;
+        return m;
+    }
+
+    CacheKey
+    sampleKey(bool ocor = false)
+    {
+        CacheKey k;
+        k.benchmark = "testprog";
+        k.threads = 16;
+        k.ocorEnabled = ocor;
+        k.iterations = 4;
+        k.seed = 9;
+        return k;
+    }
+
+    std::string path_;
+};
+
+} // namespace
+
+TEST_F(ResultCacheTest, MissOnEmptyCache)
+{
+    ResultCache cache(path_);
+    EXPECT_FALSE(cache.lookup(sampleKey()).has_value());
+}
+
+TEST_F(ResultCacheTest, StoreThenLookupRoundTrips)
+{
+    ResultCache cache(path_);
+    RunMetrics m = sampleMetrics();
+    cache.store(sampleKey(), m);
+    auto hit = cache.lookup(sampleKey());
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->roiFinish, m.roiFinish);
+    EXPECT_EQ(hit->threads, m.threads);
+    EXPECT_EQ(hit->totalCoh(), m.totalCoh());
+    EXPECT_EQ(hit->totalAcquisitions(), m.totalAcquisitions());
+    EXPECT_EQ(hit->totalSpinWins(), m.totalSpinWins());
+    EXPECT_EQ(hit->packetsInjected, m.packetsInjected);
+    EXPECT_DOUBLE_EQ(hit->avgLockPacketLatency,
+                     m.avgLockPacketLatency);
+    // Derived percentages survive the round trip.
+    EXPECT_NEAR(hit->cohPct(), m.cohPct(), 1e-9);
+    EXPECT_NEAR(hit->spinWinPct(), m.spinWinPct(), 1e-9);
+}
+
+TEST_F(ResultCacheTest, KeysAreDiscriminating)
+{
+    ResultCache cache(path_);
+    cache.store(sampleKey(false), sampleMetrics());
+    EXPECT_FALSE(cache.lookup(sampleKey(true)).has_value());
+
+    CacheKey other = sampleKey(false);
+    other.threads = 32;
+    EXPECT_FALSE(cache.lookup(other).has_value());
+    other = sampleKey(false);
+    other.seed = 10;
+    EXPECT_FALSE(cache.lookup(other).has_value());
+    other = sampleKey(false);
+    other.rtrLevels = 4;
+    EXPECT_FALSE(cache.lookup(other).has_value());
+    other = sampleKey(false);
+    other.ruleMask = 0x7;
+    EXPECT_FALSE(cache.lookup(other).has_value());
+}
+
+TEST_F(ResultCacheTest, BenchmarkPrefixesDoNotCollide)
+{
+    // "can" must not match a line stored for "canneal"-like names.
+    ResultCache cache(path_);
+    CacheKey a = sampleKey();
+    a.benchmark = "can";
+    CacheKey b = sampleKey();
+    b.benchmark = "canx";
+    RunMetrics m = sampleMetrics();
+    m.roiFinish = 1;
+    cache.store(b, m);
+    EXPECT_FALSE(cache.lookup(a).has_value());
+}
+
+TEST_F(ResultCacheTest, MultipleEntriesCoexist)
+{
+    ResultCache cache(path_);
+    for (unsigned t : {4u, 16u, 32u, 64u}) {
+        CacheKey k = sampleKey();
+        k.threads = t;
+        RunMetrics m = sampleMetrics();
+        m.roiFinish = t * 100;
+        cache.store(k, m);
+    }
+    for (unsigned t : {4u, 16u, 32u, 64u}) {
+        CacheKey k = sampleKey();
+        k.threads = t;
+        auto hit = cache.lookup(k);
+        ASSERT_TRUE(hit.has_value());
+        EXPECT_EQ(hit->roiFinish, t * 100);
+    }
+}
+
+TEST_F(ResultCacheTest, MakeCacheKeyCapturesOcorOverride)
+{
+    BenchmarkProfile profile;
+    profile.name = "p";
+    ExperimentConfig exp;
+    exp.ocorOverrideSet = true;
+    exp.ocorOverride.numRtrLevels = 16;
+    exp.ocorOverride.ruleWakeupLast = false;
+    CacheKey k = makeCacheKey(profile, exp, true);
+    EXPECT_EQ(k.rtrLevels, 16u);
+    EXPECT_EQ(k.ruleMask & 8u, 0u);
+    EXPECT_TRUE(k.ocorEnabled);
+}

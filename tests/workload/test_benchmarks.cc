@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the 25 benchmark profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/benchmarks.hh"
+
+using namespace ocor;
+
+TEST(Benchmarks, SuiteSizesMatchPaper)
+{
+    EXPECT_EQ(parsecProfiles().size(), 11u);
+    EXPECT_EQ(omp2012Profiles().size(), 14u);
+    EXPECT_EQ(allProfiles().size(), 25u);
+}
+
+TEST(Benchmarks, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const auto &p : allProfiles())
+        names.insert(p.name);
+    EXPECT_EQ(names.size(), 25u);
+}
+
+TEST(Benchmarks, SuitesLabeled)
+{
+    for (const auto &p : parsecProfiles())
+        EXPECT_EQ(p.suite, "PARSEC");
+    for (const auto &p : omp2012Profiles())
+        EXPECT_EQ(p.suite, "OMP2012");
+}
+
+TEST(Benchmarks, Table3Characterizations)
+{
+    // Spot checks against Table 3 of the paper.
+    auto botss = profileByName("botss");
+    EXPECT_TRUE(botss.highCsRate);
+    EXPECT_TRUE(botss.highNetUtil);
+    auto imag = profileByName("imag");
+    EXPECT_FALSE(imag.highCsRate);
+    EXPECT_FALSE(imag.highNetUtil);
+    auto body = profileByName("body");
+    EXPECT_TRUE(body.highCsRate);
+    EXPECT_FALSE(body.highNetUtil);
+    auto freq = profileByName("freq");
+    EXPECT_FALSE(freq.highCsRate);
+    EXPECT_TRUE(freq.highNetUtil);
+    auto ilbdc = profileByName("ilbdc");
+    EXPECT_TRUE(ilbdc.highCsRate);
+    EXPECT_TRUE(ilbdc.highNetUtil);
+}
+
+TEST(Benchmarks, ClassesMapToParameterRanges)
+{
+    for (const auto &p : allProfiles()) {
+        // Calibrated ranges (see benchmarks.cc / EXPERIMENTS.md).
+        EXPECT_GE(p.workload.meanGap, 17000u) << p.name;
+        EXPECT_LE(p.workload.meanGap, 80000u) << p.name;
+        if (p.highNetUtil)
+            EXPECT_GT(p.traffic.rate, 0.03) << p.name;
+        else
+            EXPECT_LT(p.traffic.rate, 0.03) << p.name;
+    }
+}
+
+TEST(Benchmarks, WithinClassVariationExists)
+{
+    // The programs of one (CS, net) class must not be identical
+    // clones: per-name jitter separates them.
+    auto botss = profileByName("botss");
+    auto ilbdc = profileByName("ilbdc");
+    EXPECT_NE(botss.workload.meanGap, ilbdc.workload.meanGap);
+    EXPECT_NE(botss.traffic.rate, ilbdc.traffic.rate);
+}
+
+TEST(Benchmarks, ProfilesAreDeterministic)
+{
+    auto a = profileByName("can");
+    auto b = profileByName("can");
+    EXPECT_EQ(a.workload.meanGap, b.workload.meanGap);
+    EXPECT_EQ(a.traffic.rate, b.traffic.rate);
+}
+
+TEST(BenchmarksDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(profileByName("nosuchprogram"),
+                ::testing::ExitedWithCode(1), "unknown");
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for programs and the program builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/program.hh"
+
+using namespace ocor;
+
+TEST(Program, BuilderProducesWellFormed)
+{
+    Program p = ProgramBuilder()
+        .compute(100)
+        .lock(0)
+        .load(0x8000)
+        .store(0x8000)
+        .compute(50)
+        .unlock(0)
+        .build();
+    EXPECT_TRUE(p.wellFormed());
+    EXPECT_EQ(p.ops.size(), 7u); // + End
+    EXPECT_EQ(p.ops.back().type, OpType::End);
+    EXPECT_EQ(p.lockCount(), 1u);
+}
+
+TEST(Program, EmptyProgramIsMalformed)
+{
+    Program p;
+    EXPECT_FALSE(p.wellFormed());
+}
+
+TEST(Program, MissingEndIsMalformed)
+{
+    Program p;
+    p.ops.push_back({OpType::Compute, 10});
+    EXPECT_FALSE(p.wellFormed());
+}
+
+TEST(Program, UnbalancedLockIsMalformed)
+{
+    Program p = ProgramBuilder().lock(0).build();
+    EXPECT_FALSE(p.wellFormed());
+}
+
+TEST(Program, MismatchedUnlockIsMalformed)
+{
+    Program p;
+    p.ops.push_back({OpType::Lock, 0});
+    p.ops.push_back({OpType::Unlock, 1});
+    p.ops.push_back({OpType::End, 0});
+    EXPECT_FALSE(p.wellFormed());
+}
+
+TEST(Program, NestedLockIsMalformed)
+{
+    Program p;
+    p.ops.push_back({OpType::Lock, 0});
+    p.ops.push_back({OpType::Lock, 1});
+    p.ops.push_back({OpType::Unlock, 1});
+    p.ops.push_back({OpType::Unlock, 0});
+    p.ops.push_back({OpType::End, 0});
+    EXPECT_FALSE(p.wellFormed()) << "this model forbids nesting";
+}
+
+TEST(Program, UnlockOutsideCsIsMalformed)
+{
+    Program p;
+    p.ops.push_back({OpType::Unlock, 0});
+    p.ops.push_back({OpType::End, 0});
+    EXPECT_FALSE(p.wellFormed());
+}
+
+TEST(Program, MultipleCriticalSections)
+{
+    ProgramBuilder b;
+    for (int i = 0; i < 5; ++i)
+        b.compute(10).lock(i % 2).compute(5).unlock(i % 2);
+    Program p = b.build();
+    EXPECT_TRUE(p.wellFormed());
+    EXPECT_EQ(p.lockCount(), 5u);
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the synthetic workload generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/synthetic.hh"
+
+using namespace ocor;
+
+TEST(Synthetic, WellFormedForAllThreads)
+{
+    SyntheticParams p;
+    for (ThreadId t = 0; t < 64; ++t) {
+        Program prog = buildSyntheticProgram(p, 7, t);
+        EXPECT_TRUE(prog.wellFormed()) << "thread " << t;
+        EXPECT_EQ(prog.lockCount(), p.iterations);
+    }
+}
+
+TEST(Synthetic, DeterministicPerSeedAndThread)
+{
+    SyntheticParams p;
+    Program a = buildSyntheticProgram(p, 42, 3);
+    Program b = buildSyntheticProgram(p, 42, 3);
+    ASSERT_EQ(a.ops.size(), b.ops.size());
+    for (std::size_t i = 0; i < a.ops.size(); ++i) {
+        EXPECT_EQ(a.ops[i].type, b.ops[i].type);
+        EXPECT_EQ(a.ops[i].arg, b.ops[i].arg);
+    }
+}
+
+TEST(Synthetic, ThreadsAreDecorrelated)
+{
+    SyntheticParams p;
+    Program a = buildSyntheticProgram(p, 42, 0);
+    Program b = buildSyntheticProgram(p, 42, 1);
+    bool differs = a.ops.size() != b.ops.size();
+    for (std::size_t i = 0;
+         !differs && i < a.ops.size(); ++i)
+        differs = a.ops[i].arg != b.ops[i].arg;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Synthetic, GapJitterWithinBounds)
+{
+    SyntheticParams p;
+    p.meanGap = 10000;
+    Program prog = buildSyntheticProgram(p, 1, 0);
+    for (std::size_t i = 0; i < prog.ops.size(); ++i) {
+        const Op &op = prog.ops[i];
+        // The parallel-phase compute before each Lock is jittered in
+        // [meanGap/2, 1.5*meanGap].
+        if (i + 1 < prog.ops.size() &&
+            prog.ops[i + 1].type == OpType::Lock &&
+            op.type == OpType::Compute) {
+            EXPECT_GE(op.arg, p.meanGap / 2);
+            EXPECT_LE(op.arg, p.meanGap + p.meanGap / 2);
+        }
+    }
+}
+
+TEST(Synthetic, LockIndicesWithinRange)
+{
+    SyntheticParams p;
+    p.numLocks = 4;
+    p.iterations = 50;
+    Program prog = buildSyntheticProgram(p, 9, 5);
+    for (const Op &op : prog.ops)
+        if (op.type == OpType::Lock)
+            EXPECT_LT(op.arg, p.numLocks);
+}
+
+TEST(Synthetic, SingleLockAlwaysIndexZero)
+{
+    SyntheticParams p;
+    p.numLocks = 1;
+    Program prog = buildSyntheticProgram(p, 9, 5);
+    for (const Op &op : prog.ops)
+        if (op.type == OpType::Lock)
+            EXPECT_EQ(op.arg, 0u);
+}
+
+TEST(Synthetic, CsAccessesTouchLockRegion)
+{
+    SyntheticParams p;
+    p.csAccesses = 4;
+    p.numLocks = 2;
+    Program prog = buildSyntheticProgram(p, 3, 1);
+    bool in_cs = false;
+    std::uint64_t lock_idx = 0;
+    for (const Op &op : prog.ops) {
+        if (op.type == OpType::Lock) {
+            in_cs = true;
+            lock_idx = op.arg;
+        } else if (op.type == OpType::Unlock) {
+            in_cs = false;
+        } else if (in_cs && (op.type == OpType::Load ||
+                             op.type == OpType::Store)) {
+            Addr region = p.sharedDataBase
+                + lock_idx * 16 * p.lineBytes;
+            EXPECT_GE(op.arg, region);
+            EXPECT_LT(op.arg, region + 16 * p.lineBytes);
+        }
+    }
+}
+
+TEST(Synthetic, CsAccessCountMatchesParams)
+{
+    SyntheticParams p;
+    p.csAccesses = 3;
+    p.iterations = 4;
+    Program prog = buildSyntheticProgram(p, 3, 1);
+    unsigned accesses = 0;
+    for (const Op &op : prog.ops)
+        if (op.type == OpType::Load || op.type == OpType::Store)
+            ++accesses;
+    EXPECT_EQ(accesses, p.csAccesses * p.iterations);
+}
