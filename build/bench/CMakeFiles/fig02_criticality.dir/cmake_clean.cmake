@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_criticality.dir/fig02_criticality.cpp.o"
+  "CMakeFiles/fig02_criticality.dir/fig02_criticality.cpp.o.d"
+  "fig02_criticality"
+  "fig02_criticality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_criticality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_scenarios.dir/fig05_scenarios.cpp.o"
+  "CMakeFiles/fig05_scenarios.dir/fig05_scenarios.cpp.o.d"
+  "fig05_scenarios"
+  "fig05_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

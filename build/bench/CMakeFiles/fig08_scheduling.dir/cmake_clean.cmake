@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_scheduling.dir/fig08_scheduling.cpp.o"
+  "CMakeFiles/fig08_scheduling.dir/fig08_scheduling.cpp.o.d"
+  "fig08_scheduling"
+  "fig08_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

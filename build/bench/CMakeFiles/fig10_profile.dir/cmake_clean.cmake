@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_profile.dir/fig10_profile.cpp.o"
+  "CMakeFiles/fig10_profile.dir/fig10_profile.cpp.o.d"
+  "fig10_profile"
+  "fig10_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

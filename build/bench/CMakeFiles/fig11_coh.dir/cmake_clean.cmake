@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_coh.dir/fig11_coh.cpp.o"
+  "CMakeFiles/fig11_coh.dir/fig11_coh.cpp.o.d"
+  "fig11_coh"
+  "fig11_coh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_coh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

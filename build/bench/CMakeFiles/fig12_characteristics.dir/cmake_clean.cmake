@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_characteristics.dir/fig12_characteristics.cpp.o"
+  "CMakeFiles/fig12_characteristics.dir/fig12_characteristics.cpp.o.d"
+  "fig12_characteristics"
+  "fig12_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

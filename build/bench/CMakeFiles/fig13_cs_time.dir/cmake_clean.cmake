@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_cs_time.dir/fig13_cs_time.cpp.o"
+  "CMakeFiles/fig13_cs_time.dir/fig13_cs_time.cpp.o.d"
+  "fig13_cs_time"
+  "fig13_cs_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_cs_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_roi.dir/fig14_roi.cpp.o"
+  "CMakeFiles/fig14_roi.dir/fig14_roi.cpp.o.d"
+  "fig14_roi"
+  "fig14_roi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_roi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_scalability.dir/fig15_scalability.cpp.o"
+  "CMakeFiles/fig15_scalability.dir/fig15_scalability.cpp.o.d"
+  "fig15_scalability"
+  "fig15_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_levels.dir/fig16_levels.cpp.o"
+  "CMakeFiles/fig16_levels.dir/fig16_levels.cpp.o.d"
+  "fig16_levels"
+  "fig16_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

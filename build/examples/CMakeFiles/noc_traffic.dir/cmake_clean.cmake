@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_traffic.dir/noc_traffic.cpp.o"
+  "CMakeFiles/noc_traffic.dir/noc_traffic.cpp.o.d"
+  "noc_traffic"
+  "noc_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_tuning.dir/priority_tuning.cpp.o"
+  "CMakeFiles/priority_tuning.dir/priority_tuning.cpp.o.d"
+  "priority_tuning"
+  "priority_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/ocor.dir/common/log.cc.o" "gcc" "src/CMakeFiles/ocor.dir/common/log.cc.o.d"
+  "/root/repo/src/common/onehot.cc" "src/CMakeFiles/ocor.dir/common/onehot.cc.o" "gcc" "src/CMakeFiles/ocor.dir/common/onehot.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/ocor.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/ocor.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/ocor.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/ocor.dir/common/stats.cc.o.d"
+  "/root/repo/src/core/ocor_config.cc" "src/CMakeFiles/ocor.dir/core/ocor_config.cc.o" "gcc" "src/CMakeFiles/ocor.dir/core/ocor_config.cc.o.d"
+  "/root/repo/src/core/priority.cc" "src/CMakeFiles/ocor.dir/core/priority.cc.o" "gcc" "src/CMakeFiles/ocor.dir/core/priority.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/ocor.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/ocor.dir/cpu/core.cc.o.d"
+  "/root/repo/src/mem/address_map.cc" "src/CMakeFiles/ocor.dir/mem/address_map.cc.o" "gcc" "src/CMakeFiles/ocor.dir/mem/address_map.cc.o.d"
+  "/root/repo/src/mem/cache_array.cc" "src/CMakeFiles/ocor.dir/mem/cache_array.cc.o" "gcc" "src/CMakeFiles/ocor.dir/mem/cache_array.cc.o.d"
+  "/root/repo/src/mem/l1_cache.cc" "src/CMakeFiles/ocor.dir/mem/l1_cache.cc.o" "gcc" "src/CMakeFiles/ocor.dir/mem/l1_cache.cc.o.d"
+  "/root/repo/src/mem/l2_directory.cc" "src/CMakeFiles/ocor.dir/mem/l2_directory.cc.o" "gcc" "src/CMakeFiles/ocor.dir/mem/l2_directory.cc.o.d"
+  "/root/repo/src/mem/mem_controller.cc" "src/CMakeFiles/ocor.dir/mem/mem_controller.cc.o" "gcc" "src/CMakeFiles/ocor.dir/mem/mem_controller.cc.o.d"
+  "/root/repo/src/noc/arbiter.cc" "src/CMakeFiles/ocor.dir/noc/arbiter.cc.o" "gcc" "src/CMakeFiles/ocor.dir/noc/arbiter.cc.o.d"
+  "/root/repo/src/noc/flit.cc" "src/CMakeFiles/ocor.dir/noc/flit.cc.o" "gcc" "src/CMakeFiles/ocor.dir/noc/flit.cc.o.d"
+  "/root/repo/src/noc/input_unit.cc" "src/CMakeFiles/ocor.dir/noc/input_unit.cc.o" "gcc" "src/CMakeFiles/ocor.dir/noc/input_unit.cc.o.d"
+  "/root/repo/src/noc/link.cc" "src/CMakeFiles/ocor.dir/noc/link.cc.o" "gcc" "src/CMakeFiles/ocor.dir/noc/link.cc.o.d"
+  "/root/repo/src/noc/network.cc" "src/CMakeFiles/ocor.dir/noc/network.cc.o" "gcc" "src/CMakeFiles/ocor.dir/noc/network.cc.o.d"
+  "/root/repo/src/noc/network_interface.cc" "src/CMakeFiles/ocor.dir/noc/network_interface.cc.o" "gcc" "src/CMakeFiles/ocor.dir/noc/network_interface.cc.o.d"
+  "/root/repo/src/noc/output_unit.cc" "src/CMakeFiles/ocor.dir/noc/output_unit.cc.o" "gcc" "src/CMakeFiles/ocor.dir/noc/output_unit.cc.o.d"
+  "/root/repo/src/noc/packet.cc" "src/CMakeFiles/ocor.dir/noc/packet.cc.o" "gcc" "src/CMakeFiles/ocor.dir/noc/packet.cc.o.d"
+  "/root/repo/src/noc/router.cc" "src/CMakeFiles/ocor.dir/noc/router.cc.o" "gcc" "src/CMakeFiles/ocor.dir/noc/router.cc.o.d"
+  "/root/repo/src/noc/routing.cc" "src/CMakeFiles/ocor.dir/noc/routing.cc.o" "gcc" "src/CMakeFiles/ocor.dir/noc/routing.cc.o.d"
+  "/root/repo/src/os/lock_manager.cc" "src/CMakeFiles/ocor.dir/os/lock_manager.cc.o" "gcc" "src/CMakeFiles/ocor.dir/os/lock_manager.cc.o.d"
+  "/root/repo/src/os/params.cc" "src/CMakeFiles/ocor.dir/os/params.cc.o" "gcc" "src/CMakeFiles/ocor.dir/os/params.cc.o.d"
+  "/root/repo/src/os/pcb.cc" "src/CMakeFiles/ocor.dir/os/pcb.cc.o" "gcc" "src/CMakeFiles/ocor.dir/os/pcb.cc.o.d"
+  "/root/repo/src/os/qspinlock.cc" "src/CMakeFiles/ocor.dir/os/qspinlock.cc.o" "gcc" "src/CMakeFiles/ocor.dir/os/qspinlock.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/ocor.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/ocor.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/ocor.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/ocor.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/CMakeFiles/ocor.dir/sim/metrics.cc.o" "gcc" "src/CMakeFiles/ocor.dir/sim/metrics.cc.o.d"
+  "/root/repo/src/sim/result_cache.cc" "src/CMakeFiles/ocor.dir/sim/result_cache.cc.o" "gcc" "src/CMakeFiles/ocor.dir/sim/result_cache.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/ocor.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/ocor.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/ocor.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/ocor.dir/sim/system.cc.o.d"
+  "/root/repo/src/workload/benchmarks.cc" "src/CMakeFiles/ocor.dir/workload/benchmarks.cc.o" "gcc" "src/CMakeFiles/ocor.dir/workload/benchmarks.cc.o.d"
+  "/root/repo/src/workload/program.cc" "src/CMakeFiles/ocor.dir/workload/program.cc.o" "gcc" "src/CMakeFiles/ocor.dir/workload/program.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/CMakeFiles/ocor.dir/workload/synthetic.cc.o" "gcc" "src/CMakeFiles/ocor.dir/workload/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+src/CMakeFiles/ocor.dir/os/params.cc.o: /root/repo/src/os/params.cc \
+ /usr/include/stdc-predef.h /root/repo/src/os/params.hh

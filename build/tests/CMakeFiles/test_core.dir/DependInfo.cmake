@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_ocor_config.cc" "tests/CMakeFiles/test_core.dir/core/test_ocor_config.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_ocor_config.cc.o.d"
+  "/root/repo/tests/core/test_priority.cc" "tests/CMakeFiles/test_core.dir/core/test_priority.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_priority.cc.o.d"
+  "/root/repo/tests/core/test_priority_param.cc" "tests/CMakeFiles/test_core.dir/core/test_priority_param.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_priority_param.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ocor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem/test_address_map.cc" "tests/CMakeFiles/test_mem.dir/mem/test_address_map.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_address_map.cc.o.d"
+  "/root/repo/tests/mem/test_cache_array.cc" "tests/CMakeFiles/test_mem.dir/mem/test_cache_array.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_cache_array.cc.o.d"
+  "/root/repo/tests/mem/test_coherence.cc" "tests/CMakeFiles/test_mem.dir/mem/test_coherence.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_coherence.cc.o.d"
+  "/root/repo/tests/mem/test_coherence_param.cc" "tests/CMakeFiles/test_mem.dir/mem/test_coherence_param.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_coherence_param.cc.o.d"
+  "/root/repo/tests/mem/test_l1_cache.cc" "tests/CMakeFiles/test_mem.dir/mem/test_l1_cache.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_l1_cache.cc.o.d"
+  "/root/repo/tests/mem/test_mem_controller.cc" "tests/CMakeFiles/test_mem.dir/mem/test_mem_controller.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_mem_controller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ocor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/mem/test_address_map.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_address_map.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_cache_array.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_cache_array.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_coherence.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_coherence.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_coherence_param.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_coherence_param.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_l1_cache.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_l1_cache.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_mem_controller.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_mem_controller.cc.o.d"
+  "test_mem"
+  "test_mem.pdb"
+  "test_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

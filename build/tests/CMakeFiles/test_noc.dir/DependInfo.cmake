@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/noc/test_arbiter.cc" "tests/CMakeFiles/test_noc.dir/noc/test_arbiter.cc.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/test_arbiter.cc.o.d"
+  "/root/repo/tests/noc/test_link.cc" "tests/CMakeFiles/test_noc.dir/noc/test_link.cc.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/test_link.cc.o.d"
+  "/root/repo/tests/noc/test_network.cc" "tests/CMakeFiles/test_noc.dir/noc/test_network.cc.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/test_network.cc.o.d"
+  "/root/repo/tests/noc/test_network_interface.cc" "tests/CMakeFiles/test_noc.dir/noc/test_network_interface.cc.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/test_network_interface.cc.o.d"
+  "/root/repo/tests/noc/test_network_param.cc" "tests/CMakeFiles/test_noc.dir/noc/test_network_param.cc.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/test_network_param.cc.o.d"
+  "/root/repo/tests/noc/test_packet.cc" "tests/CMakeFiles/test_noc.dir/noc/test_packet.cc.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/test_packet.cc.o.d"
+  "/root/repo/tests/noc/test_router.cc" "tests/CMakeFiles/test_noc.dir/noc/test_router.cc.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/test_router.cc.o.d"
+  "/root/repo/tests/noc/test_router_stress.cc" "tests/CMakeFiles/test_noc.dir/noc/test_router_stress.cc.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/test_router_stress.cc.o.d"
+  "/root/repo/tests/noc/test_routing.cc" "tests/CMakeFiles/test_noc.dir/noc/test_routing.cc.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/test_routing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ocor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noc.dir/noc/test_arbiter.cc.o"
+  "CMakeFiles/test_noc.dir/noc/test_arbiter.cc.o.d"
+  "CMakeFiles/test_noc.dir/noc/test_link.cc.o"
+  "CMakeFiles/test_noc.dir/noc/test_link.cc.o.d"
+  "CMakeFiles/test_noc.dir/noc/test_network.cc.o"
+  "CMakeFiles/test_noc.dir/noc/test_network.cc.o.d"
+  "CMakeFiles/test_noc.dir/noc/test_network_interface.cc.o"
+  "CMakeFiles/test_noc.dir/noc/test_network_interface.cc.o.d"
+  "CMakeFiles/test_noc.dir/noc/test_network_param.cc.o"
+  "CMakeFiles/test_noc.dir/noc/test_network_param.cc.o.d"
+  "CMakeFiles/test_noc.dir/noc/test_packet.cc.o"
+  "CMakeFiles/test_noc.dir/noc/test_packet.cc.o.d"
+  "CMakeFiles/test_noc.dir/noc/test_router.cc.o"
+  "CMakeFiles/test_noc.dir/noc/test_router.cc.o.d"
+  "CMakeFiles/test_noc.dir/noc/test_router_stress.cc.o"
+  "CMakeFiles/test_noc.dir/noc/test_router_stress.cc.o.d"
+  "CMakeFiles/test_noc.dir/noc/test_routing.cc.o"
+  "CMakeFiles/test_noc.dir/noc/test_routing.cc.o.d"
+  "test_noc"
+  "test_noc.pdb"
+  "test_noc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

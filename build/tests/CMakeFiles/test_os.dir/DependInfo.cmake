@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/os/test_lock_manager.cc" "tests/CMakeFiles/test_os.dir/os/test_lock_manager.cc.o" "gcc" "tests/CMakeFiles/test_os.dir/os/test_lock_manager.cc.o.d"
+  "/root/repo/tests/os/test_lock_modes.cc" "tests/CMakeFiles/test_os.dir/os/test_lock_modes.cc.o" "gcc" "tests/CMakeFiles/test_os.dir/os/test_lock_modes.cc.o.d"
+  "/root/repo/tests/os/test_qspinlock.cc" "tests/CMakeFiles/test_os.dir/os/test_qspinlock.cc.o" "gcc" "tests/CMakeFiles/test_os.dir/os/test_qspinlock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ocor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

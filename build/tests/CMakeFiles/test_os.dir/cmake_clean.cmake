@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_os.dir/os/test_lock_manager.cc.o"
+  "CMakeFiles/test_os.dir/os/test_lock_manager.cc.o.d"
+  "CMakeFiles/test_os.dir/os/test_lock_modes.cc.o"
+  "CMakeFiles/test_os.dir/os/test_lock_modes.cc.o.d"
+  "CMakeFiles/test_os.dir/os/test_qspinlock.cc.o"
+  "CMakeFiles/test_os.dir/os/test_qspinlock.cc.o.d"
+  "test_os"
+  "test_os.pdb"
+  "test_os[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_experiment.cc" "tests/CMakeFiles/test_sim.dir/sim/test_experiment.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_experiment.cc.o.d"
+  "/root/repo/tests/sim/test_failure_injection.cc" "tests/CMakeFiles/test_sim.dir/sim/test_failure_injection.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_failure_injection.cc.o.d"
+  "/root/repo/tests/sim/test_metrics.cc" "tests/CMakeFiles/test_sim.dir/sim/test_metrics.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_metrics.cc.o.d"
+  "/root/repo/tests/sim/test_ocor_effect.cc" "tests/CMakeFiles/test_sim.dir/sim/test_ocor_effect.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_ocor_effect.cc.o.d"
+  "/root/repo/tests/sim/test_result_cache.cc" "tests/CMakeFiles/test_sim.dir/sim/test_result_cache.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_result_cache.cc.o.d"
+  "/root/repo/tests/sim/test_simulator.cc" "tests/CMakeFiles/test_sim.dir/sim/test_simulator.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_simulator.cc.o.d"
+  "/root/repo/tests/sim/test_system.cc" "tests/CMakeFiles/test_sim.dir/sim/test_system.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ocor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_experiment.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_experiment.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_failure_injection.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_failure_injection.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_metrics.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_metrics.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_ocor_effect.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_ocor_effect.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_result_cache.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_result_cache.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_simulator.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_simulator.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_system.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_system.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

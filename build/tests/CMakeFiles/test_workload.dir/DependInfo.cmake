@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/test_benchmarks.cc" "tests/CMakeFiles/test_workload.dir/workload/test_benchmarks.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_benchmarks.cc.o.d"
+  "/root/repo/tests/workload/test_program.cc" "tests/CMakeFiles/test_workload.dir/workload/test_program.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_program.cc.o.d"
+  "/root/repo/tests/workload/test_synthetic.cc" "tests/CMakeFiles/test_workload.dir/workload/test_synthetic.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ocor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
