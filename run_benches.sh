@@ -2,13 +2,21 @@
 # Regenerate every figure/table of the paper's evaluation.
 # Full 64-thread runs are memoized in ocor_results.tsv (this
 # directory), so the 25-benchmark sweep is simulated only once.
-set -u
+#
+# Fails fast: the first benchmark that exits non-zero aborts the
+# sweep and is named on stderr.
+set -euo pipefail
 cd "$(dirname "$0")/build"
 
 run() {
     echo
     echo "################ $* ################"
-    "$@"
+    local status=0
+    "$@" || status=$?
+    if [ "$status" -ne 0 ]; then
+        echo "error: benchmark failed (exit $status): $*" >&2
+        exit "$status"
+    fi
 }
 
 run ./bench/fig02_criticality
@@ -23,3 +31,6 @@ run ./bench/fig15_scalability --iters 4
 run ./bench/fig16_levels --quick --iters 3 --ablate
 run ./bench/table3_summary
 run ./bench/micro_router --benchmark_min_time=0.05
+
+echo
+echo "all benchmarks completed"

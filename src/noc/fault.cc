@@ -1,0 +1,128 @@
+#include "noc/fault.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace ocor
+{
+
+void
+FaultConfig::validate() const
+{
+    auto check_rate = [](double r, const char *name) {
+        if (r < 0.0 || r > 1.0)
+            ocor_fatal("FaultConfig: %s must be in [0, 1] (got %g)",
+                       name, r);
+    };
+    check_rate(dropRate, "dropRate");
+    check_rate(corruptRate, "corruptRate");
+    check_rate(jitterRate, "jitterRate");
+    if (jitterRate > 0.0 && jitterMax == 0)
+        ocor_fatal("FaultConfig: jitterMax must be > 0 when "
+                   "jitterRate > 0");
+    if (retryTimeout == 0)
+        ocor_fatal("FaultConfig: retryTimeout must be > 0");
+    if (retransmit && maxRetries == 0)
+        ocor_fatal("FaultConfig: maxRetries must be > 0 when "
+                   "retransmission is enabled");
+    if (backoffShift > 8)
+        ocor_fatal("FaultConfig: backoffShift must be <= 8 "
+                   "(got %u)", backoffShift);
+}
+
+FaultInjector::FaultInjector(const FaultConfig &cfg, std::uint64_t seed)
+    : cfg_(cfg), active_(cfg.enabled()),
+      rng_(seed ^ (cfg.seed * 0x9e3779b97f4a7c15ULL + 0xfa0171ULL))
+{
+    cfg_.validate();
+}
+
+bool
+FaultInjector::targets(unsigned link, const Packet &pkt) const
+{
+    if (cfg_.lockOnly && !isLockProtocol(pkt.type))
+        return false;
+    if (!cfg_.targetLinks.empty() &&
+        std::find(cfg_.targetLinks.begin(), cfg_.targetLinks.end(),
+                  link) == cfg_.targetLinks.end())
+        return false;
+    return true;
+}
+
+bool
+FaultInjector::drawDrop()
+{
+    return cfg_.dropRate > 0.0 && rng_.chance(cfg_.dropRate);
+}
+
+bool
+FaultInjector::drawCorrupt()
+{
+    return cfg_.corruptRate > 0.0 && rng_.chance(cfg_.corruptRate);
+}
+
+unsigned
+FaultInjector::drawJitter()
+{
+    if (cfg_.jitterRate <= 0.0 || !rng_.chance(cfg_.jitterRate))
+        return 0;
+    return static_cast<unsigned>(rng_.between(1, cfg_.jitterMax));
+}
+
+Cycle
+FaultInjector::backoff(unsigned attempts) const
+{
+    // timeout << (attempts * backoffShift), saturated well below
+    // overflow; with backoffShift == 0 the timeout is constant.
+    unsigned shift = std::min(attempts * cfg_.backoffShift, 32u);
+    return static_cast<Cycle>(cfg_.retryTimeout) << shift;
+}
+
+std::uint32_t
+crc32Update(std::uint32_t crc, const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    crc = ~crc;
+    for (std::size_t i = 0; i < len; ++i) {
+        crc ^= p[i];
+        for (int b = 0; b < 8; ++b)
+            crc = (crc >> 1) ^ (0xedb88320u & (~(crc & 1u) + 1u));
+    }
+    return ~crc;
+}
+
+std::uint32_t
+packetCrc(const Packet &pkt)
+{
+    // Hash the fields a receiver depends on. The packet id is
+    // excluded: a retransmitted clone carries a fresh id but must
+    // produce the same CRC as the original.
+    struct Header
+    {
+        std::uint8_t type;
+        std::uint8_t check;
+        NodeId src, dst, requester;
+        unsigned numFlits;
+        Addr addr;
+        ThreadId thread;
+        std::uint32_t aux;
+        std::uint64_t seq;
+        std::uint64_t priorityBits, progressBits;
+    } h{};
+    h.type = static_cast<std::uint8_t>(pkt.type);
+    h.check = pkt.priority.check ? 1 : 0;
+    h.src = pkt.src;
+    h.dst = pkt.dst;
+    h.requester = pkt.requester;
+    h.numFlits = pkt.numFlits;
+    h.addr = pkt.addr;
+    h.thread = pkt.thread;
+    h.aux = pkt.aux;
+    h.seq = pkt.seq;
+    h.priorityBits = pkt.priority.priorityBits;
+    h.progressBits = pkt.priority.progressBits;
+    return crc32Update(0, &h, sizeof(h));
+}
+
+} // namespace ocor

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Deterministic NoC fault injection and the recovery bookkeeping
+ * shared by every layer of the stack.
+ *
+ * A FaultConfig describes a transient-fault model for the mesh links:
+ * whole packets dropped in flight, individual flits bit-flipped
+ * (detected by the CRC the source NI stamps into the header), and
+ * delay jitter that stalls flits on the wire. All decisions draw from
+ * one seeded Rng owned by the FaultInjector, so a run is exactly
+ * reproducible from (config, seed) — faults included.
+ *
+ * Recovery spans three layers:
+ *  - NI: per-outstanding-packet timeout triggers sender-side
+ *    retransmission with bounded retries and exponential backoff; the
+ *    retransmitted copy preserves the OCOR priority header. Delivery
+ *    is confirmed over an out-of-band ack channel (modeled like the
+ *    credit wires: lossless, zero cost) and duplicates are absorbed
+ *    at the sink.
+ *  - OS: LockManager / QSpinlock watchdogs re-issue lost lock
+ *    protocol messages (see os/params.hh watchdog knobs).
+ *  - Sim: a forward-progress watchdog fails fast on a wedged run
+ *    (see SystemConfig::progressWindow).
+ *
+ * With every rate at zero the injector is inactive and every hook is
+ * a dead branch: behaviour is bit-identical to a build without the
+ * subsystem.
+ */
+
+#ifndef OCOR_NOC_FAULT_HH
+#define OCOR_NOC_FAULT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "noc/packet.hh"
+
+namespace ocor
+{
+
+/** Transient-fault model of the mesh links plus recovery knobs. */
+struct FaultConfig
+{
+    /** Probability a packet is dropped per link traversal (whole
+     * packet: every flit of it vanishes on that link). */
+    double dropRate = 0.0;
+
+    /** Probability a flit is corrupted per link traversal (payload
+     * bit-flip, caught by the NI's CRC check at ejection). */
+    double corruptRate = 0.0;
+
+    /** Probability a flit is stalled on the wire. */
+    double jitterRate = 0.0;
+
+    /** Maximum extra cycles of a jitter stall (uniform in
+     * [1, jitterMax]). */
+    unsigned jitterMax = 4;
+
+    /** Restrict faults to lock-protocol packets. */
+    bool lockOnly = false;
+
+    /**
+     * Restrict faults to these link ids (empty = every link). Links
+     * are numbered in construction order: for each node in row-major
+     * order its east pair (out, in) then its south pair, followed by
+     * one (NI->router, router->NI) pair per node.
+     */
+    std::vector<unsigned> targetLinks;
+
+    /** Extra seed mixed into the experiment seed. */
+    std::uint64_t seed = 0;
+
+    // --- recovery ---------------------------------------------------
+
+    /** Sender-side NI retransmission of unacked packets. */
+    bool retransmit = true;
+
+    /** Cycles before the first retransmission of an unacked packet.
+     * Must exceed a congested round trip or spurious duplicates (all
+     * absorbed, but wasteful) dominate. */
+    unsigned retryTimeout = 4096;
+
+    /** Retransmissions per packet before giving up (unrecoverable). */
+    unsigned maxRetries = 8;
+
+    /** Exponential backoff: the timeout doubles backoffShift times
+     * per attempt (0 = constant timeout). */
+    unsigned backoffShift = 1;
+
+    /** True when any fault can actually occur. */
+    bool enabled() const
+    {
+        return dropRate > 0.0 || corruptRate > 0.0 || jitterRate > 0.0;
+    }
+
+    /** ocor_fatal() on out-of-range knobs. */
+    void validate() const;
+};
+
+/** Fault and recovery counters (graceful-degradation observability). */
+struct FaultStats
+{
+    std::uint64_t packetsDropped = 0;  ///< whole packets lost on a link
+    std::uint64_t flitsDropped = 0;    ///< flits of dropped packets
+    std::uint64_t flitsCorrupted = 0;
+    std::uint64_t flitsDelayed = 0;
+    std::uint64_t crcRejects = 0;      ///< packets discarded at the NI
+    std::uint64_t retransmissions = 0;
+    std::uint64_t duplicatesDropped = 0; ///< absorbed at the sink NI
+    std::uint64_t unrecoverable = 0;   ///< retries exhausted
+
+    /** Total injected fault events. */
+    std::uint64_t faultsInjected() const
+    {
+        return packetsDropped + flitsCorrupted + flitsDelayed;
+    }
+};
+
+/**
+ * The seeded fault oracle every Link and NI consults. One instance
+ * per System; pointer-shared, never owned by the NoC classes.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(const FaultConfig &cfg, std::uint64_t seed);
+
+    /** False when no fault can occur: every hook short-circuits. */
+    bool active() const { return active_; }
+
+    const FaultConfig &config() const { return cfg_; }
+
+    /** Is (link, packet) eligible for faults under the targeting? */
+    bool targets(unsigned link, const Packet &pkt) const;
+
+    /** Draw: drop the whole packet on this link traversal? */
+    bool drawDrop();
+
+    /** Draw: corrupt this flit? */
+    bool drawCorrupt();
+
+    /** Draw: extra stall cycles for this flit (0 = none). */
+    unsigned drawJitter();
+
+    /** Retransmission deadline after @p attempts prior attempts. */
+    Cycle backoff(unsigned attempts) const;
+
+    FaultStats &stats() { return stats_; }
+    const FaultStats &stats() const { return stats_; }
+
+  private:
+    FaultConfig cfg_;
+    bool active_;
+    Rng rng_;
+    FaultStats stats_;
+};
+
+/** Incremental CRC-32 (reflected 0xEDB88320) over raw bytes. */
+std::uint32_t crc32Update(std::uint32_t crc, const void *data,
+                          std::size_t len);
+
+/**
+ * Header CRC of a packet: everything a fault could silently corrupt
+ * (type, endpoints, payload fields, priority header, lineage).
+ * Stamped into Packet::crc by the source NI and re-checked at
+ * ejection.
+ */
+std::uint32_t packetCrc(const Packet &pkt);
+
+} // namespace ocor
+
+#endif // OCOR_NOC_FAULT_HH

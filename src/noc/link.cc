@@ -12,6 +12,47 @@ Link::sendFlit(const Flit &flit, Cycle now)
         ocor_panic("Link: two flits sent in cycle %llu",
                    static_cast<unsigned long long>(now));
     lastFlitSend_ = now;
+
+    if (fault_ && fault_->active()) {
+        Flit f = flit;
+        Cycle extra = 0;
+        if (fault_->targets(linkId_, *f.pkt)) {
+            // Drop decisions are per packet (made at the head) so the
+            // downstream agent never sees a partial packet; corruption
+            // and jitter are per flit.
+            if (f.isHead() && fault_->drawDrop())
+                droppingPkts_.insert(f.pkt->id);
+            auto it = droppingPkts_.find(f.pkt->id);
+            if (it != droppingPkts_.end()) {
+                if (f.isTail()) {
+                    droppingPkts_.erase(it);
+                    ++fault_->stats().packetsDropped;
+                }
+                ++fault_->stats().flitsDropped;
+                // The flit consumed wire bandwidth but will never
+                // occupy the downstream buffer slot the sender
+                // debited: synthesize its credit so flow control
+                // does not leak.
+                credits_.emplace_back(now + latency_, f.vc);
+                return;
+            }
+            if (fault_->drawCorrupt()) {
+                f.corrupted = true;
+                ++fault_->stats().flitsCorrupted;
+            }
+            extra = fault_->drawJitter();
+            if (extra > 0)
+                ++fault_->stats().flitsDelayed;
+        }
+        // A stalled flit must not be overtaken by later ones (FIFO
+        // wire), and the wire still delivers at most one flit per
+        // cycle: arrivals are strictly increasing.
+        Cycle at = std::max(now + latency_ + extra, lastArrival_ + 1);
+        lastArrival_ = at;
+        flits_.emplace_back(at, f);
+        return;
+    }
+
     flits_.emplace_back(now + latency_, flit);
 }
 

@@ -13,10 +13,12 @@
 
 #include <deque>
 #include <optional>
+#include <set>
 #include <utility>
 #include <vector>
 
 #include "common/types.hh"
+#include "noc/fault.hh"
 #include "noc/flit.hh"
 
 namespace ocor
@@ -27,6 +29,19 @@ class Link
 {
   public:
     explicit Link(unsigned latency = 1) : latency_(latency) {}
+
+    /**
+     * Attach the fault oracle (may be null / inactive: zero-overhead
+     * path). @p link_id identifies this link for per-link targeting.
+     * Faults happen on the wire: whole packets dropped (their buffer
+     * credits are synthesized so flow control never leaks), flits
+     * corrupted, or flits stalled — always preserving FIFO order.
+     */
+    void setFaultInjector(FaultInjector *fi, unsigned link_id)
+    {
+        fault_ = fi;
+        linkId_ = link_id;
+    }
 
     /** Upstream puts a flit on the wire during cycle @p now. */
     void sendFlit(const Flit &flit, Cycle now);
@@ -48,6 +63,14 @@ class Link
     Cycle lastFlitSend_ = neverCycle;
     std::deque<std::pair<Cycle, Flit>> flits_;
     std::deque<std::pair<Cycle, unsigned>> credits_;
+
+    // --- fault injection (inert unless fault_ is active) -----------
+    FaultInjector *fault_ = nullptr;
+    unsigned linkId_ = 0;
+    /** Latest scheduled flit arrival: jitter must not reorder. */
+    Cycle lastArrival_ = 0;
+    /** Packets currently being dropped flit-by-flit on this link. */
+    std::set<std::uint64_t> droppingPkts_;
 };
 
 } // namespace ocor

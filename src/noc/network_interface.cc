@@ -31,9 +31,19 @@ NetworkInterface::inject(const PacketPtr &pkt, Cycle now)
     pkt->injectCycle = now;
     if (pkt->dst == id_) {
         // Local traffic never enters the mesh; model a minimal
-        // loopback latency.
+        // loopback latency. It cannot fault, so it is never tracked.
         loopback_.emplace_back(now + 1, pkt);
         return;
+    }
+    if (fault_ && fault_->active()) {
+        // Source NI duties under the fault model: establish the
+        // retransmission lineage and stamp the header CRC.
+        if (pkt->seq == 0)
+            pkt->seq = pkt->id;
+        pkt->crc = packetCrc(*pkt);
+        if (fault_->config().retransmit && !outstanding_.count(pkt->seq))
+            outstanding_[pkt->seq] =
+                {pkt, now + fault_->backoff(0), 0};
     }
     injectQueue_.push_back({pkt, now + 1});
     stats_.injectQueuePeak =
@@ -41,11 +51,53 @@ NetworkInterface::inject(const PacketPtr &pkt, Cycle now)
                                 injectQueue_.size());
 }
 
+void
+NetworkInterface::onAcked(std::uint64_t seq, Cycle)
+{
+    outstanding_.erase(seq);
+}
+
+void
+NetworkInterface::checkRetransmits(Cycle now)
+{
+    const FaultConfig &cfg = fault_->config();
+    for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+        Outstanding &o = it->second;
+        if (o.deadline > now) {
+            ++it;
+            continue;
+        }
+        if (o.attempts >= cfg.maxRetries) {
+            ++fault_->stats().unrecoverable;
+            ocor_warn("NI %u: giving up on %s after %u "
+                      "retransmissions", id_,
+                      o.pkt->describe().c_str(), o.attempts);
+            it = outstanding_.erase(it);
+            continue;
+        }
+        // Re-send a fresh copy (the timed-out transmission may still
+        // be crawling through a congested mesh; the sink absorbs
+        // duplicates). The clone keeps the OCOR priority header of
+        // the original.
+        PacketPtr copy = clonePacket(*o.pkt);
+        copy->crc = packetCrc(*copy);
+        copy->injectCycle = now;
+        ++o.attempts;
+        o.pkt = copy;
+        o.deadline = now + fault_->backoff(o.attempts);
+        ++fault_->stats().retransmissions;
+        injectQueue_.push_back({copy, now + 1});
+        ++it;
+    }
+}
+
 bool
 NetworkInterface::idle() const
 {
     if (!injectQueue_.empty() || !loopback_.empty())
         return false;
+    if (!outstanding_.empty())
+        return false; // a retransmission may still be due
     for (const auto &vc : outVcs_)
         if (vc.pkt)
             return false;
@@ -75,20 +127,57 @@ NetworkInterface::ejectIncoming(Cycle now)
         if (flit->isHead()) {
             if (reassembly_.count(flit->vc))
                 ocor_panic("NI %u: head over unfinished packet", id_);
-            reassembly_[flit->vc] = flit->pkt;
+            reassembly_[flit->vc] = {flit->pkt, false};
         }
+        auto it = reassembly_.find(flit->vc);
+        if (it == reassembly_.end())
+            ocor_panic("NI %u: flit without head", id_);
+        it->second.corrupt |= flit->corrupted;
         if (flit->isTail()) {
-            auto it = reassembly_.find(flit->vc);
-            if (it == reassembly_.end())
-                ocor_panic("NI %u: tail without head", id_);
-            PacketPtr pkt = it->second;
+            RxPacket rx = it->second;
             reassembly_.erase(it);
-            pkt->ejectCycle = now;
-            ++stats_.packetsEjected;
-            if (deliver_)
-                deliver_(pkt, now);
+            deliverMeshPacket(rx.pkt, rx.corrupt, now);
         }
     }
+}
+
+void
+NetworkInterface::deliverMeshPacket(const PacketPtr &pkt, bool corrupt,
+                                    Cycle now)
+{
+    if (fault_ && fault_->active() && pkt->seq != 0) {
+        // Reassembly complete: re-compute the CRC over the received
+        // header/payload and compare against the source NI's stamp.
+        // A mismatch discards the packet; the sender's timeout will
+        // retransmit it.
+        if (corrupt || pkt->crc != packetCrc(*pkt)) {
+            ++fault_->stats().crcRejects;
+            return;
+        }
+        if (ack_)
+            ack_(pkt->src, pkt->seq, now);
+
+        // Absorb duplicates (an original that outlived the sender's
+        // timeout, or a redundant retransmission).
+        if (!deliveredSeqs_.insert(pkt->seq).second) {
+            ++fault_->stats().duplicatesDropped;
+            return;
+        }
+        deliveredAge_.emplace_back(now, pkt->seq);
+        // Age out lineages no retransmission can still revive: the
+        // sender stops after the full backoff sequence has elapsed.
+        Cycle horizon = 2 * fault_->backoff(
+            fault_->config().maxRetries + 1);
+        while (!deliveredAge_.empty() &&
+               deliveredAge_.front().first + horizon < now) {
+            deliveredSeqs_.erase(deliveredAge_.front().second);
+            deliveredAge_.pop_front();
+        }
+    }
+    pkt->ejectCycle = now;
+    ++stats_.packetsEjected;
+    if (deliver_)
+        deliver_(pkt, now);
 }
 
 void
@@ -185,6 +274,8 @@ NetworkInterface::tick(Cycle now)
     }
 
     ejectIncoming(now);
+    if (fault_ && fault_->active() && fault_->config().retransmit)
+        checkRetransmits(now);
     assignVcs(now);
     sendOneFlit(now);
 }

@@ -22,11 +22,13 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "common/types.hh"
 #include "core/ocor_config.hh"
 #include "noc/arbiter.hh"
+#include "noc/fault.hh"
 #include "noc/link.hh"
 #include "noc/params.hh"
 
@@ -49,6 +51,11 @@ class NetworkInterface
   public:
     using DeliverFn = std::function<void(const PacketPtr &, Cycle)>;
 
+    /** Out-of-band delivery confirmation back to a source NI (modeled
+     * like the credit wires: lossless and instantaneous). */
+    using AckFn = std::function<void(NodeId src, std::uint64_t seq,
+                                     Cycle now)>;
+
     NetworkInterface(NodeId id, const NocParams &params,
                      const OcorConfig &ocor);
 
@@ -57,6 +64,25 @@ class NetworkInterface
 
     /** Node-side sink for ejected packets. */
     void setDeliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+    /**
+     * Enable fault tolerance: stamp a CRC into every injected packet,
+     * verify it at ejection (discarding corrupted packets), absorb
+     * duplicates, and — when the config enables retransmission —
+     * track every in-flight packet and re-send unacked ones with
+     * exponential backoff until maxRetries is exhausted. Inert while
+     * @p fi is null or inactive.
+     */
+    void setFaultInjector(FaultInjector *fi) { fault_ = fi; }
+
+    /** Route for delivery confirmations (set by the Network). */
+    void setAckChannel(AckFn fn) { ack_ = std::move(fn); }
+
+    /** A packet this NI sent reached its destination intact. */
+    void onAcked(std::uint64_t seq, Cycle now);
+
+    /** Packets awaiting delivery confirmation (tests). */
+    std::size_t outstandingCount() const { return outstanding_.size(); }
 
     /**
      * Queue a packet for injection during cycle @p now; the caller
@@ -81,6 +107,9 @@ class NetworkInterface
     void ejectIncoming(Cycle now);
     void assignVcs(Cycle now);
     void sendOneFlit(Cycle now);
+    void deliverMeshPacket(const PacketPtr &pkt, bool corrupt,
+                           Cycle now);
+    void checkRetransmits(Cycle now);
 
     NodeId id_;
     NocParams params_;
@@ -107,10 +136,34 @@ class NetworkInterface
     Arbiter sendArb_;
 
     /** Reassembly of incoming packets, keyed by VC. */
-    std::map<unsigned, PacketPtr> reassembly_;
+    struct RxPacket
+    {
+        PacketPtr pkt;
+        bool corrupt = false; ///< any flit corrupted in flight
+    };
+    std::map<unsigned, RxPacket> reassembly_;
 
     /** Same-node loopback (src == dst), 1-cycle latency. */
     std::deque<std::pair<Cycle, PacketPtr>> loopback_;
+
+    // --- fault tolerance (inert unless fault_ is active) -----------
+    FaultInjector *fault_ = nullptr;
+    AckFn ack_;
+
+    /** Sender side: packets awaiting the delivery ack, keyed by
+     * lineage seq. */
+    struct Outstanding
+    {
+        PacketPtr pkt;     ///< latest transmission (original or clone)
+        Cycle deadline;    ///< next retransmission time
+        unsigned attempts; ///< retransmissions so far
+    };
+    std::map<std::uint64_t, Outstanding> outstanding_;
+
+    /** Sink side: recently delivered lineages (duplicate absorption),
+     * aged out once no retransmission can still be in flight. */
+    std::set<std::uint64_t> deliveredSeqs_;
+    std::deque<std::pair<Cycle, std::uint64_t>> deliveredAge_;
 
     NiStats stats_;
 };

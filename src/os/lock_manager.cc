@@ -81,7 +81,14 @@ LockManager::process(const PacketPtr &pkt, Cycle now)
       case MsgType::LockTry: {
         ++stats_.tries;
         MsgType resp_type;
-        if (!lock.held) {
+        if (lock.held && lock.holder == pkt->thread) {
+            // Retransmitted LockTry whose original already won (the
+            // grant or the duplicate raced through): re-grant
+            // idempotently. Unreachable in fault-free runs — a thread
+            // never re-tries while holding.
+            ++stats_.duplicateTries;
+            resp_type = MsgType::LockGrant;
+        } else if (!lock.held) {
             lock.held = true;
             lock.holder = pkt->thread;
             resp_type = MsgType::LockGrant;
@@ -110,14 +117,19 @@ LockManager::process(const PacketPtr &pkt, Cycle now)
       }
 
       case MsgType::LockRelease: {
+        if (!lock.held || lock.holder != pkt->thread) {
+            // Stray release: a duplicate of a release already
+            // processed, an orphan-grant return racing a legitimate
+            // re-acquisition, or (fault-free) a buggy client. Absorb
+            // — honoring it would free a lock someone else holds.
+            ++stats_.strayReleases;
+            ocor_warn("LockManager %u: stray release of %llx by t%u "
+                      "(held=%d holder=%u) absorbed", node_,
+                      static_cast<unsigned long long>(pkt->addr),
+                      pkt->thread, lock.held ? 1 : 0, lock.holder);
+            break;
+        }
         ++stats_.releases;
-        if (!lock.held)
-            ocor_panic("LockManager %u: release of free lock %llx",
-                       node_,
-                       static_cast<unsigned long long>(pkt->addr));
-        if (lock.holder != pkt->thread)
-            ocor_panic("LockManager %u: release by non-holder t%u",
-                       node_, pkt->thread);
         lock.held = false;
         lock.holder = invalidThread;
 
@@ -144,8 +156,31 @@ LockManager::process(const PacketPtr &pkt, Cycle now)
       case MsgType::FutexWait:
         ++stats_.futexWaits;
         drop_poller(pkt->thread);
-        if (lock.held && lock.holder == pkt->thread)
-            break; // a grant won the re-check race; never sleep
+        if (lock.held && lock.holder == pkt->thread) {
+            // A grant won the re-check race; never sleep. Under the
+            // sleep watchdog this is also the lost-WakeNotify path: a
+            // re-registering sleeper that already owns the lock needs
+            // the wake re-sent or it parks forever.
+            if (params_.sleepWatchdogCycles > 0) {
+                ++stats_.rewakes;
+                auto wake = makePacket(MsgType::WakeNotify, node_,
+                                       pkt->src, pkt->addr);
+                wake->thread = pkt->thread;
+                wake->priority = pkt->priority;
+                send_(wake, now);
+            }
+            break;
+        }
+        if (std::any_of(lock.waitQueue.begin(), lock.waitQueue.end(),
+                        [&](const auto &p) {
+                            return p.first == pkt->thread;
+                        })) {
+            // Duplicate registration (retransmitted FutexWait whose
+            // original already queued): absorb, a thread must never
+            // occupy two queue slots.
+            ++stats_.duplicateWaits;
+            break;
+        }
         if (!lock.held) {
             // Futex value re-check semantics: the lock was released
             // between the budget expiry and the registration, so the

@@ -76,6 +76,7 @@ QSpinlock::issueTry(Cycle now)
     pcb_.regRtr = currentRtr(now);
     pcb_.regProg = pcb_.prog;
     tryInFlight_ = true;
+    trySentAt_ = now;
 
     auto pkt = makePacket(MsgType::LockTry, pcb_.node,
                           amap_.homeOf(lock_), lock_);
@@ -114,16 +115,30 @@ QSpinlock::handle(const PacketPtr &pkt, Cycle now)
 
     switch (pkt->type) {
       case MsgType::LockGrant:
-        if (!active_)
-            ocor_panic("QSpinlock t%u: unexpected grant", pcb_.tid);
-        // A grant can land while the thread is preparing to sleep
-        // (the futex value re-check window); it is accepted in every
-        // waiting state.
-        enterCs(now);
+        if (active_ && pkt->addr == lock_) {
+            // A grant can land while the thread is preparing to sleep
+            // (the futex value re-check window); it is accepted in
+            // every waiting state.
+            enterCs(now);
+            break;
+        }
+        if (holding_ && pkt->addr == lock_) {
+            // Duplicate of the grant that already won (a retransmit,
+            // or a watchdog re-try answered twice). The thread
+            // legitimately holds the lock — absorbing is the only
+            // safe move; releasing would break mutual exclusion.
+            ++duplicatesAbsorbed_;
+            break;
+        }
+        // Orphan grant: the home reserved a lock this thread no
+        // longer wants (stale retransmission from a finished
+        // acquisition). Hand it straight back or the lock leaks.
+        ++duplicatesAbsorbed_;
+        returnOrphanGrant(pkt->addr, now);
         break;
 
       case MsgType::LockFail: {
-        if (!active_) {
+        if (!active_ || pkt->addr != lock_) {
             ocor_warn("QSpinlock t%u: stale LockFail", pcb_.tid);
             break;
         }
@@ -157,12 +172,32 @@ QSpinlock::handle(const PacketPtr &pkt, Cycle now)
       case MsgType::WakeNotify:
         // The home node woke this thread *and* reserved the lock for
         // it (queue-spinlock: the woken waiter secures the lock).
-        if (!active_ || pcb_.state != ThreadState::Sleeping)
-            ocor_panic("QSpinlock t%u: stray WakeNotify in %s",
-                       pcb_.tid, threadStateName(pcb_.state));
-        pcb_.state = ThreadState::Waking;
-        timer_ = Timer::Wakeup;
-        timerAt_ = now + os_.wakeupCycles;
+        if (active_ && pkt->addr == lock_) {
+            if (pcb_.state == ThreadState::Sleeping) {
+                pcb_.state = ThreadState::Waking;
+                timer_ = Timer::Wakeup;
+                timerAt_ = now + os_.wakeupCycles;
+            } else if (pcb_.state == ThreadState::Waking) {
+                // Re-wake raced the original; the context switch in
+                // is already under way.
+                ++duplicatesAbsorbed_;
+            } else {
+                // Home reserved the lock for us while we are still
+                // on-core (a retransmitted FutexWait registered after
+                // its duplicate was granted): enter directly, no
+                // wakeup cost to pay.
+                enterCs(now);
+            }
+            break;
+        }
+        if (holding_ && pkt->addr == lock_) {
+            ++duplicatesAbsorbed_; // wake already consumed; in the CS
+            break;
+        }
+        // Orphan wake: a lock this thread no longer wants is reserved
+        // for it at the home. Return it.
+        ++duplicatesAbsorbed_;
+        returnOrphanGrant(pkt->addr, now);
         break;
 
       default:
@@ -172,8 +207,47 @@ QSpinlock::handle(const PacketPtr &pkt, Cycle now)
 }
 
 void
+QSpinlock::returnOrphanGrant(Addr lock_word, Cycle now)
+{
+    ocor_warn("QSpinlock t%u: returning orphan grant of %llx",
+              pcb_.tid, static_cast<unsigned long long>(lock_word));
+    auto rel = makePacket(MsgType::LockRelease, pcb_.node,
+                          amap_.homeOf(lock_word), lock_word);
+    rel->thread = pcb_.tid;
+    rel->priority = makePriority(ocor_, PriorityClass::LockRelease,
+                                 1, pcb_.prog);
+    send_(rel, now);
+}
+
+void
 QSpinlock::tick(Cycle now)
 {
+    // Fault-recovery watchdogs (inert at the default knob values).
+    if (os_.tryWatchdogCycles > 0 && active_ && tryInFlight_ &&
+        pcb_.state == ThreadState::Spinning &&
+        now >= trySentAt_ + os_.tryWatchdogCycles) {
+        // The LockTry or its answer was lost: re-issue. The home
+        // re-grants idempotently if the original actually won.
+        ++recoveries_;
+        ++pcb_.counters.retries;
+        issueTry(now);
+    }
+    if (os_.sleepWatchdogCycles > 0 && active_ &&
+        pcb_.state == ThreadState::Sleeping &&
+        now >= sleepingSince_ + os_.sleepWatchdogCycles) {
+        // Sleeping suspiciously long: the FutexWait registration or
+        // the WakeNotify may be lost. Re-register; the home dedups
+        // queued waiters and re-wakes an already-granted one.
+        ++recoveries_;
+        sleepingSince_ = now;
+        auto pkt = makePacket(MsgType::FutexWait, pcb_.node,
+                              amap_.homeOf(lock_), lock_);
+        pkt->thread = pcb_.tid;
+        pkt->priority = makePriority(ocor_, PriorityClass::Wakeup,
+                                     1, pcb_.prog);
+        send_(pkt, now);
+    }
+
     if (pendingWakeAt_ != neverCycle && pendingWakeAt_ <= now) {
         pendingWakeAt_ = neverCycle;
         auto wake = makePacket(MsgType::FutexWake, pcb_.node,
@@ -208,6 +282,7 @@ QSpinlock::tick(Cycle now)
             break; // grant slipped in during the re-check window
         // sys_futex(FUTEX_WAIT): register in the home lock queue.
         pcb_.state = ThreadState::Sleeping;
+        sleepingSince_ = now;
         auto pkt = makePacket(MsgType::FutexWait, pcb_.node,
                               amap_.homeOf(lock_), lock_);
         pkt->thread = pcb_.tid;

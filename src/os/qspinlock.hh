@@ -66,6 +66,16 @@ class QSpinlock
     bool holding() const { return holding_; }
     Addr currentLock() const { return lock_; }
     bool everSleptThisWait() const { return everSlept_; }
+    bool tryInFlight() const { return tryInFlight_; }
+
+    /** Watchdog re-issues of a LockTry / FutexWait (fault recovery). */
+    std::uint64_t recoveries() const { return recoveries_; }
+
+    /** Duplicate or orphan grants/wakes absorbed idempotently. */
+    std::uint64_t duplicatesAbsorbed() const
+    {
+        return duplicatesAbsorbed_;
+    }
 
     /** Current RTR value (Algorithm 1 line 5). */
     unsigned currentRtr(Cycle now) const;
@@ -83,6 +93,9 @@ class QSpinlock
     void enterCs(Cycle now);
     void beginSleepPrep(Cycle now);
     Cycle sleepDeadline() const;
+
+    /** Return an unwanted grant/wake so the home frees the lock. */
+    void returnOrphanGrant(Addr lock_word, Cycle now);
 
     Pcb &pcb_;
     const OcorConfig &ocor_;
@@ -104,6 +117,13 @@ class QSpinlock
     /** Deferred sys_futex(FUTEX_WAKE) after a release. */
     Cycle pendingWakeAt_ = neverCycle;
     Addr pendingWakeLock_ = 0;
+
+    // --- fault-recovery watchdogs (inert while the OsParams
+    //     *WatchdogCycles knobs stay 0, their default) --------------
+    Cycle trySentAt_ = neverCycle;    ///< last LockTry departure
+    Cycle sleepingSince_ = neverCycle; ///< entered Sleeping state
+    std::uint64_t recoveries_ = 0;
+    std::uint64_t duplicatesAbsorbed_ = 0;
 };
 
 } // namespace ocor

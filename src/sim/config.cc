@@ -20,6 +20,19 @@ SystemConfig::validate() const
         ocor_fatal("SystemConfig: numVcs must be in [1, 16]");
     if (noc.vcDepth == 0)
         ocor_fatal("SystemConfig: vcDepth must be > 0");
+    if (noc.linkLatency == 0)
+        ocor_fatal("SystemConfig: linkLatency must be > 0");
+    if (noc.routerStages == 0)
+        ocor_fatal("SystemConfig: routerStages must be > 0");
+    if (noc.niQueueDepth == 0)
+        ocor_fatal("SystemConfig: niQueueDepth must be > 0");
+    if (maxCycles == 0)
+        ocor_fatal("SystemConfig: maxCycles must be > 0");
+    if (os.retryInterval == 0)
+        ocor_fatal("SystemConfig: os.retryInterval must be > 0");
+    if (os.remoteTryInterval == 0)
+        ocor_fatal("SystemConfig: os.remoteTryInterval must be > 0");
+    fault.validate();
 }
 
 MeshShape

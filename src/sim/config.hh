@@ -11,6 +11,7 @@
 #include "common/types.hh"
 #include "core/ocor_config.hh"
 #include "mem/params.hh"
+#include "noc/fault.hh"
 #include "noc/params.hh"
 #include "noc/routing.hh"
 #include "os/params.hh"
@@ -34,6 +35,17 @@ struct SystemConfig
 
     /** Hard stop for runaway experiments. */
     Cycle maxCycles = 50'000'000;
+
+    /** Fault-injection model (disabled by default: all rates 0). */
+    FaultConfig fault;
+
+    /**
+     * Forward-progress watchdog: abort the run (with per-thread lock
+     * diagnostics) when no thread retires work for this many cycles.
+     * 0 disables. Checked at a coarse granularity, so small values
+     * are rounded up by up to ~2k cycles.
+     */
+    Cycle progressWindow = 1'000'000;
 
     /** Base address of the lock-word region. */
     Addr lockRegionBase = 0x1000'0000;

@@ -41,6 +41,17 @@ struct RunMetrics
     double avgLockPacketLatency = 0.0;
     double avgDataPacketLatency = 0.0;
 
+    // Fault injection and recovery (all zero with faults disabled).
+    std::uint64_t faultsInjected = 0;   ///< drops + corruptions + stalls
+    std::uint64_t flitsDropped = 0;
+    std::uint64_t flitsCorrupted = 0;
+    std::uint64_t crcRejects = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t duplicatesDropped = 0;
+    std::uint64_t watchdogRecoveries = 0;
+    std::uint64_t unrecoverable = 0;
+    bool hangDetected = false;          ///< progress watchdog fired
+
     // --- sums over threads ------------------------------------------
     std::uint64_t totalCompute() const;
     std::uint64_t totalCs() const;

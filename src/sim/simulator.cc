@@ -1,5 +1,7 @@
 #include "sim/simulator.hh"
 
+#include <sstream>
+
 #include "common/log.hh"
 
 namespace ocor
@@ -54,16 +56,81 @@ Simulator::accountCycle(Cycle now)
     }
 }
 
+std::uint64_t
+Simulator::progressSignal() const
+{
+    // Strictly monotone while any thread retires work (compute or CS
+    // cycles, lock acquisitions, completion) or the NoC delivers
+    // packets; constant exactly when the run is wedged.
+    std::uint64_t p = system_->network().stats().packetsDelivered;
+    const unsigned threads = system_->numThreads();
+    for (ThreadId t = 0; t < threads; ++t) {
+        const Pcb &pcb = system_->pcb(t);
+        p += pcb.counters.computeCycles + pcb.counters.csCycles
+            + pcb.counters.acquisitions;
+        if (pcb.state == ThreadState::Finished)
+            ++p;
+    }
+    return p;
+}
+
+std::string
+Simulator::diagnoseHang() const
+{
+    std::ostringstream os;
+    const unsigned threads = system_->numThreads();
+    for (ThreadId t = 0; t < threads; ++t) {
+        const Pcb &pcb = system_->pcb(t);
+        QSpinlock &qs = system_->qspinlock(t);
+        os << "t" << t << ": " << threadStateName(pcb.state);
+        if (qs.waiting() || qs.holding()) {
+            Addr lock = qs.currentLock();
+            NodeId home = system_->addressMap().homeOf(lock);
+            const LockManager &lm = system_->lockManager(home);
+            os << " lock=0x" << std::hex << lock << std::dec
+               << " tryInFlight=" << qs.tryInFlight()
+               << " | home" << home
+               << " held=" << lm.heldNow(lock)
+               << " holder=" << lm.holderOf(lock)
+               << " queue=" << lm.queueLength(lock)
+               << " pollers=" << lm.pollerCount(lock);
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
 RunMetrics
 Simulator::run()
 {
+    Cycle last_progress_at = 0;
+    std::uint64_t last_progress = 0;
     for (now_ = 0; now_ < cfg_.maxCycles; ++now_) {
         system_->tick(now_);
         accountCycle(now_);
         if (system_->allFinished())
             break;
+        // Forward-progress watchdog, checked at a coarse stride so
+        // the fault-free loop stays cheap.
+        if (cfg_.progressWindow > 0 && (now_ & 0x7ff) == 0) {
+            std::uint64_t p = progressSignal();
+            if (p != last_progress) {
+                last_progress = p;
+                last_progress_at = now_;
+            } else if (now_ - last_progress_at >= cfg_.progressWindow) {
+                hangDetected_ = true;
+                hangDiagnosis_ = diagnoseHang();
+                ocor_warn("no forward progress for %llu cycles at "
+                          "cycle %llu; failing fast\n%s",
+                          static_cast<unsigned long long>(
+                              now_ - last_progress_at),
+                          static_cast<unsigned long long>(now_),
+                          hangDiagnosis_.c_str());
+                break;
+            }
+        }
     }
-    if (now_ >= cfg_.maxCycles)
+    if (!hangDetected_ && now_ >= cfg_.maxCycles)
         ocor_warn("simulation hit maxCycles (%llu) before finishing",
                   static_cast<unsigned long long>(cfg_.maxCycles));
 
@@ -80,6 +147,19 @@ Simulator::run()
     m.avgPacketLatency = net.stats().packetLatency.mean();
     m.avgLockPacketLatency = net.stats().lockPacketLatency.mean();
     m.avgDataPacketLatency = net.stats().dataPacketLatency.mean();
+
+    if (const FaultInjector *fi = system_->faultInjector()) {
+        const FaultStats &fs = fi->stats();
+        m.faultsInjected = fs.faultsInjected();
+        m.flitsDropped = fs.flitsDropped;
+        m.flitsCorrupted = fs.flitsCorrupted;
+        m.crcRejects = fs.crcRejects;
+        m.retransmissions = fs.retransmissions;
+        m.duplicatesDropped = fs.duplicatesDropped;
+        m.unrecoverable = fs.unrecoverable;
+    }
+    m.watchdogRecoveries = system_->watchdogRecoveries();
+    m.hangDetected = hangDetected_;
     return m;
 }
 

@@ -8,6 +8,7 @@
 #define OCOR_SIM_SIMULATOR_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "sim/config.hh"
@@ -48,14 +49,25 @@ class Simulator
     /** Current simulated cycle (valid after run()). */
     Cycle now() const { return now_; }
 
+    /** Per-thread lock-state dump captured when the forward-progress
+     * watchdog fired (empty otherwise). */
+    const std::string &hangDiagnosis() const { return hangDiagnosis_; }
+
   private:
     void accountCycle(Cycle now);
+
+    /** Monotone counter that stalls exactly when the run is wedged. */
+    std::uint64_t progressSignal() const;
+
+    std::string diagnoseHang() const;
 
     SystemConfig cfg_;
     std::unique_ptr<System> system_;
     Options opts_;
     Timeline timeline_;
     Cycle now_ = 0;
+    bool hangDetected_ = false;
+    std::string hangDiagnosis_;
 };
 
 } // namespace ocor

@@ -14,8 +14,11 @@ System::System(const SystemConfig &cfg, std::vector<Program> programs,
         ocor_fatal("System: %zu programs for %u threads",
                    programs.size(), cfg_.numThreads);
 
+    if (cfg_.fault.enabled())
+        fault_ = std::make_unique<FaultInjector>(cfg_.fault,
+                                                 cfg_.seed);
     network_ = std::make_unique<Network>(cfg_.mesh, cfg_.noc,
-                                         cfg_.ocor);
+                                         cfg_.ocor, fault_.get());
 
     SendFn send = [this](const PacketPtr &pkt, Cycle now) {
         network_->send(pkt, now);
@@ -159,6 +162,17 @@ System::drained() const
         if (!mc->idle())
             return false;
     return true;
+}
+
+std::uint64_t
+System::watchdogRecoveries() const
+{
+    std::uint64_t n = 0;
+    for (const auto &lm : lockMgrs_)
+        n += lm->stats().rewakes;
+    for (const auto &qs : qspins_)
+        n += qs->recoveries();
+    return n;
 }
 
 bool

@@ -51,6 +51,12 @@ class System
     // --- component access -------------------------------------------
     const SystemConfig &config() const { return cfg_; }
     Network &network() { return *network_; }
+
+    /** Fault oracle; null when cfg.fault has every rate at zero. */
+    FaultInjector *faultInjector() { return fault_.get(); }
+
+    /** OS-layer watchdog recoveries (lost lock messages re-issued). */
+    std::uint64_t watchdogRecoveries() const;
     const AddressMap &addressMap() const { return amap_; }
     unsigned numThreads() const
     {
@@ -83,6 +89,7 @@ class System
 
     SystemConfig cfg_;
     AddressMap amap_;
+    std::unique_ptr<FaultInjector> fault_; ///< before network_
     std::unique_ptr<Network> network_;
 
     std::vector<std::unique_ptr<Pcb>> pcbs_;

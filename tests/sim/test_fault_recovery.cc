@@ -1,0 +1,218 @@
+/**
+ * @file
+ * End-to-end fault tolerance: zero-overhead gating (faults off is
+ * bit-identical), reproducibility of faulty runs, full recovery of a
+ * contended-lock workload under drops and corruption, and the
+ * forward-progress watchdog failing fast on an unrecoverable hang.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+
+using namespace ocor;
+
+namespace
+{
+
+SystemConfig
+smallConfig()
+{
+    SystemConfig cfg;
+    cfg.mesh = MeshShape{2, 2};
+    cfg.numThreads = 4;
+    cfg.maxCycles = 2'000'000;
+    return cfg;
+}
+
+std::vector<Program>
+contendedPrograms(unsigned n, unsigned iters = 3)
+{
+    std::vector<Program> out;
+    for (unsigned t = 0; t < n; ++t) {
+        ProgramBuilder b;
+        for (unsigned i = 0; i < iters; ++i)
+            b.compute(100 + 37 * t).lock(0).compute(50).unlock(0);
+        out.push_back(b.build());
+    }
+    return out;
+}
+
+void
+expectSameMetrics(const RunMetrics &a, const RunMetrics &b)
+{
+    EXPECT_EQ(a.roiFinish, b.roiFinish);
+    EXPECT_EQ(a.threads, b.threads);
+    EXPECT_EQ(a.packetsInjected, b.packetsInjected);
+    EXPECT_EQ(a.flitsInjected, b.flitsInjected);
+    EXPECT_EQ(a.lockPacketsInjected, b.lockPacketsInjected);
+    EXPECT_EQ(a.avgPacketLatency, b.avgPacketLatency);
+    EXPECT_EQ(a.avgLockPacketLatency, b.avgLockPacketLatency);
+    EXPECT_EQ(a.avgDataPacketLatency, b.avgDataPacketLatency);
+    EXPECT_EQ(a.faultsInjected, b.faultsInjected);
+    EXPECT_EQ(a.flitsDropped, b.flitsDropped);
+    EXPECT_EQ(a.flitsCorrupted, b.flitsCorrupted);
+    EXPECT_EQ(a.crcRejects, b.crcRejects);
+    EXPECT_EQ(a.retransmissions, b.retransmissions);
+    EXPECT_EQ(a.duplicatesDropped, b.duplicatesDropped);
+    EXPECT_EQ(a.watchdogRecoveries, b.watchdogRecoveries);
+    EXPECT_EQ(a.unrecoverable, b.unrecoverable);
+    EXPECT_EQ(a.hangDetected, b.hangDetected);
+    ASSERT_EQ(a.perThread.size(), b.perThread.size());
+    for (std::size_t t = 0; t < a.perThread.size(); ++t) {
+        const ThreadCounters &x = a.perThread[t];
+        const ThreadCounters &y = b.perThread[t];
+        EXPECT_EQ(x.computeCycles, y.computeCycles) << "t" << t;
+        EXPECT_EQ(x.csCycles, y.csCycles) << "t" << t;
+        EXPECT_EQ(x.blockedHeldCycles, y.blockedHeldCycles) << "t" << t;
+        EXPECT_EQ(x.blockedIdleCycles, y.blockedIdleCycles) << "t" << t;
+        EXPECT_EQ(x.acquisitions, y.acquisitions) << "t" << t;
+        EXPECT_EQ(x.spinWins, y.spinWins) << "t" << t;
+        EXPECT_EQ(x.sleepWins, y.sleepWins) << "t" << t;
+        EXPECT_EQ(x.retries, y.retries) << "t" << t;
+        EXPECT_EQ(x.sleeps, y.sleeps) << "t" << t;
+    }
+}
+
+/** Fault model every run in this file recovers from. */
+FaultConfig
+recoverableFaults()
+{
+    FaultConfig f;
+    f.dropRate = 0.08;
+    f.corruptRate = 0.05;
+    f.lockOnly = true;
+    f.retryTimeout = 500;
+    f.maxRetries = 10;
+    f.seed = 3;
+    return f;
+}
+
+} // namespace
+
+// With every fault rate at zero the whole subsystem must be dead
+// code: a run with disabled fault/watchdog knobs dialed to arbitrary
+// values is bit-identical to the default configuration.
+TEST(FaultRecovery, FaultsOffIsBitIdentical)
+{
+    auto cfg = smallConfig();
+    Simulator base(cfg, contendedPrograms(4), BgTrafficConfig{});
+    RunMetrics mb = base.run();
+
+    auto cfg2 = smallConfig();
+    cfg2.fault.retryTimeout = 77;     // inert: all rates are zero
+    cfg2.fault.maxRetries = 3;
+    cfg2.fault.lockOnly = true;
+    cfg2.fault.seed = 999;
+    cfg2.progressWindow = 500'000;    // never fires in a healthy run
+    Simulator tweaked(cfg2, contendedPrograms(4), BgTrafficConfig{});
+    RunMetrics mt = tweaked.run();
+
+    expectSameMetrics(mb, mt);
+    EXPECT_EQ(mt.faultsInjected, 0u);
+    EXPECT_EQ(mt.watchdogRecoveries, 0u);
+    EXPECT_FALSE(mt.hangDetected);
+    EXPECT_EQ(tweaked.system().faultInjector(), nullptr);
+}
+
+TEST(FaultRecovery, FaultyRunsAreReproducible)
+{
+    auto cfg = smallConfig();
+    cfg.seed = 11;
+    cfg.fault = recoverableFaults();
+    cfg.os.tryWatchdogCycles = 150'000;
+    cfg.os.sleepWatchdogCycles = 150'000;
+
+    Simulator a(cfg, contendedPrograms(4, 4), BgTrafficConfig{});
+    Simulator b(cfg, contendedPrograms(4, 4), BgTrafficConfig{});
+    RunMetrics ma = a.run();
+    RunMetrics mc = b.run();
+    expectSameMetrics(ma, mc);
+    EXPECT_GT(ma.faultsInjected, 0u);
+
+    // A different fault seed must actually change the run.
+    auto cfg2 = cfg;
+    cfg2.fault.seed = 4;
+    Simulator c(cfg2, contendedPrograms(4, 4), BgTrafficConfig{});
+    RunMetrics md = c.run();
+    EXPECT_NE(ma.faultsInjected, md.faultsInjected);
+}
+
+// The headline scenario: a contended-lock workload under packet drops
+// and flit corruption on the lock protocol completes every critical
+// section, with losses healed by NI retransmission (and the OS
+// watchdogs as backstop), and no lineage abandoned.
+TEST(FaultRecovery, ContendedWorkloadRecoversFully)
+{
+    auto cfg = smallConfig();
+    cfg.fault = recoverableFaults();
+    cfg.os.tryWatchdogCycles = 150'000;
+    cfg.os.sleepWatchdogCycles = 150'000;
+
+    const unsigned iters = 5;
+    Simulator sim(cfg, contendedPrograms(4, iters), BgTrafficConfig{});
+    RunMetrics m = sim.run();
+
+    EXPECT_FALSE(m.hangDetected);
+    EXPECT_LT(m.roiFinish, cfg.maxCycles);
+    EXPECT_EQ(m.totalAcquisitions(), 4u * iters);
+    EXPECT_GT(m.faultsInjected, 0u);
+    EXPECT_GT(m.retransmissions, 0u);
+    EXPECT_EQ(m.unrecoverable, 0u);
+    EXPECT_TRUE(sim.hangDiagnosis().empty());
+}
+
+// With recovery disabled and heavy loss the run wedges; the
+// forward-progress watchdog must fail fast with diagnostics instead
+// of burning maxCycles.
+TEST(FaultRecovery, ProgressWatchdogFailsFastOnHang)
+{
+    auto cfg = smallConfig();
+    cfg.fault.dropRate = 0.45;
+    cfg.fault.lockOnly = true;
+    cfg.fault.retransmit = false; // no NI recovery
+    cfg.fault.seed = 1;
+    cfg.progressWindow = 30'000;  // os watchdogs stay off (default 0)
+
+    Simulator sim(cfg, contendedPrograms(4, 5), BgTrafficConfig{});
+    RunMetrics m = sim.run();
+
+    EXPECT_TRUE(m.hangDetected);
+    EXPECT_LT(m.roiFinish, cfg.maxCycles) << "must fail fast";
+    EXPECT_LT(m.totalAcquisitions(), 4u * 5u);
+    EXPECT_EQ(m.retransmissions, 0u);
+    // The diagnosis names every thread and its lock state.
+    const std::string &d = sim.hangDiagnosis();
+    ASSERT_FALSE(d.empty());
+    EXPECT_NE(d.find("t0:"), std::string::npos);
+    EXPECT_NE(d.find("t3:"), std::string::npos);
+    EXPECT_NE(d.find("lock=0x"), std::string::npos);
+}
+
+// OS-layer watchdogs as the primary healer: NI retransmission is
+// dialed so slow it barely participates, so lost LockTry / WakeNotify
+// messages are recovered by the protocol watchdogs re-issuing them
+// (the slow retransmit still backstops losses the OS layer cannot
+// see, like a dropped LockRelease).
+TEST(FaultRecovery, OsWatchdogsHealLostLockMessages)
+{
+    auto cfg = smallConfig();
+    cfg.fault.dropRate = 0.3;
+    cfg.fault.lockOnly = true;
+    cfg.fault.retryTimeout = 20'000; // watchdogs fire far earlier
+    cfg.fault.maxRetries = 10;
+    cfg.fault.seed = 1;
+    cfg.os.tryWatchdogCycles = 4'000;
+    cfg.os.sleepWatchdogCycles = 8'000;
+    cfg.maxCycles = 10'000'000;
+
+    const unsigned iters = 5;
+    Simulator sim(cfg, contendedPrograms(4, iters), BgTrafficConfig{});
+    RunMetrics m = sim.run();
+
+    EXPECT_FALSE(m.hangDetected);
+    EXPECT_LT(m.roiFinish, cfg.maxCycles);
+    EXPECT_EQ(m.totalAcquisitions(), 4u * iters);
+    EXPECT_GT(m.watchdogRecoveries, 0u);
+    EXPECT_EQ(m.unrecoverable, 0u);
+}
