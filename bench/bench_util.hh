@@ -10,6 +10,8 @@
  *   --seed N      experiment seed (default 1)
  *   --quick       shorthand for --threads 16 (fast smoke runs)
  *   --fresh       ignore the result cache for this invocation
+ *   --jobs N      simulations run concurrently (default: OCOR_JOBS
+ *                 env var, else hardware concurrency)
  */
 
 #ifndef OCOR_BENCH_BENCH_UTIL_HH
@@ -20,6 +22,7 @@
 #include <cstring>
 #include <string>
 
+#include "sim/parallel_runner.hh"
 #include "sim/result_cache.hh"
 
 namespace ocor::bench
@@ -32,6 +35,7 @@ struct Options
     unsigned iterations = 4;
     std::uint64_t seed = 1;
     bool fresh = false;
+    unsigned jobs = 0; ///< 0 = ThreadPool::defaultConcurrency()
 
     ExperimentConfig
     experiment() const
@@ -71,11 +75,14 @@ parseOptions(int argc, char **argv)
             opt.threads = 16;
         else if (a == "--fresh")
             opt.fresh = true;
+        else if (a == "--jobs")
+            opt.jobs = static_cast<unsigned>(std::atoi(next()));
         else {
             std::fprintf(stderr,
                          "unknown flag %s\n"
                          "usage: %s [--threads N] [--iters N] "
-                         "[--seed N] [--quick] [--fresh]\n",
+                         "[--seed N] [--quick] [--fresh] "
+                         "[--jobs N]\n",
                          a.c_str(), argv[0]);
             std::exit(1);
         }

@@ -22,14 +22,24 @@ main(int argc, char **argv)
            "(original queue spinlock)");
 
     ResultCache cache = cacheFor(opt);
+    ParallelRunner runner(opt.jobs, &cache);
     ExperimentConfig exp = opt.experiment();
+
+    // Baseline-only sweep: one request per profile, fanned across
+    // the pool; results come back in profile order.
+    auto profiles = allProfiles();
+    std::vector<RunRequest> reqs;
+    reqs.reserve(profiles.size());
+    for (const auto &p : profiles)
+        reqs.push_back({p, exp, false});
+    std::vector<RunMetrics> metrics = runner.run(reqs);
 
     std::printf("%-8s %-8s  %6s  %6s  %s\n", "program", "suite",
                 "CS%", "COH%", "COH bar (0..60%)");
     double cs_sum = 0, coh_sum = 0;
-    auto profiles = allProfiles();
-    for (const auto &p : profiles) {
-        RunMetrics m = cache.get(p, exp, false);
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        const auto &p = profiles[i];
+        const RunMetrics &m = metrics[i];
         std::printf("%-8s %-8s  %5.1f%%  %5.1f%%  |%s|\n",
                     p.name.c_str(), p.suite.c_str(), m.csPct(),
                     m.cohPct(), bar(m.cohPct(), 60.0).c_str());

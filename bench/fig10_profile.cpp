@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "common/thread_pool.hh"
 #include "sim/simulator.hh"
 #include "workload/benchmarks.hh"
 #include "workload/synthetic.hh"
@@ -21,8 +22,17 @@ using namespace ocor::bench;
 namespace
 {
 
-void
-profileRun(const BenchmarkProfile &profile, const Options &opt,
+/** Everything the printer needs from one timeline run. */
+struct ProfileRun
+{
+    RunMetrics m;
+    Timeline tl;
+};
+
+constexpr Cycle kHorizon = 60000;
+
+ProfileRun
+computeRun(const BenchmarkProfile &profile, const Options &opt,
            bool ocor_on)
 {
     SystemConfig cfg;
@@ -38,19 +48,27 @@ profileRun(const BenchmarkProfile &profile, const Options &opt,
         programs.push_back(buildSyntheticProgram(wl, opt.seed, t));
 
     SimOptions sim_opts;
-    const Cycle horizon = 60000;
-    sim_opts.timelineHorizon = horizon;
+    sim_opts.timelineHorizon = kHorizon;
     sim_opts.timelineThreads = 16;
     Simulator sim(cfg, std::move(programs), profile.traffic,
                   sim_opts);
-    RunMetrics m = sim.run();
-    const Timeline &tl = sim.timeline();
+    ProfileRun run;
+    run.m = sim.run();
+    run.tl = sim.timeline();
+    return run;
+}
+
+void
+printRun(const ProfileRun &run, bool ocor_on)
+{
+    const RunMetrics &m = run.m;
+    const Timeline &tl = run.tl;
 
     std::printf("\n--- %s ---\n", ocor_on ? "with OCOR"
                                           : "without OCOR (original)");
     std::printf("ROI finish: %llu cycles\n",
                 static_cast<unsigned long long>(m.roiFinish));
-    Cycle upto = std::min<Cycle>(horizon, m.roiFinish);
+    Cycle upto = std::min<Cycle>(kHorizon, m.roiFinish);
     std::printf("first %llu cycles, 16 threads: parallel %.1f%% | "
                 "blocked %.1f%% | CS %.1f%%\n",
                 static_cast<unsigned long long>(upto),
@@ -102,8 +120,16 @@ main(int argc, char **argv)
     banner("Figure 10: execution profile of bodytrack (body), "
            "original vs OCOR");
     BenchmarkProfile profile = profileByName("body");
-    profileRun(profile, opt, false);
-    profileRun(profile, opt, true);
+
+    // The two timeline runs are independent; compute them
+    // concurrently and print serially in the original order.
+    ThreadPool pool(opt.jobs == 0 ? 2 : std::min(opt.jobs, 2u));
+    auto base = pool.run(
+        [&] { return computeRun(profile, opt, false); });
+    auto ocor = pool.run(
+        [&] { return computeRun(profile, opt, true); });
+    printRun(base.get(), false);
+    printRun(ocor.get(), true);
     std::printf("\nExpected shape: with OCOR the blocked ('x') "
                 "share shrinks and the run compresses.\n");
     return 0;

@@ -22,11 +22,9 @@ main(int argc, char **argv)
     banner("Figure 11: COH reduction and spinning-phase win rate");
 
     ResultCache cache = cacheFor(opt);
-    ExperimentConfig exp = opt.experiment();
-
-    std::vector<BenchmarkResult> results;
-    for (const auto &p : allProfiles())
-        results.push_back(cache.getComparison(p, exp));
+    ParallelRunner runner(opt.jobs, &cache);
+    std::vector<BenchmarkResult> results =
+        runner.runSuite(allProfiles(), opt.experiment());
 
     std::sort(results.begin(), results.end(),
               [](const BenchmarkResult &a, const BenchmarkResult &b) {

@@ -23,7 +23,9 @@ main(int argc, char **argv)
            "utilization (baseline runs)");
 
     ResultCache cache = cacheFor(opt);
-    ExperimentConfig exp = opt.experiment();
+    ParallelRunner runner(opt.jobs, &cache);
+    std::vector<BenchmarkResult> results =
+        runner.runSuite(allProfiles(), opt.experiment());
 
     struct Row
     {
@@ -32,9 +34,9 @@ main(int argc, char **argv)
         double netUtil;  ///< packets per cycle per node
     };
     std::vector<Row> rows;
-    for (const auto &p : allProfiles()) {
+    for (auto &cmp : results) {
         Row row;
-        row.cmp = cache.getComparison(p, exp);
+        row.cmp = std::move(cmp);
         const RunMetrics &m = row.cmp.base;
         row.csRate = 1000.0
             * static_cast<double>(m.totalAcquisitions())

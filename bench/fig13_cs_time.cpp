@@ -23,20 +23,21 @@ main(int argc, char **argv)
            "(OCOR / original)");
 
     ResultCache cache = cacheFor(opt);
-    ExperimentConfig exp = opt.experiment();
+    ParallelRunner runner(opt.jobs, &cache);
+    std::vector<BenchmarkResult> results =
+        runner.runSuite(allProfiles(), opt.experiment());
 
     std::printf("\n%-8s %12s %12s %10s\n", "program",
                 "orig cyc/CS", "OCOR cyc/CS", "relative");
     double rel_sum = 0;
     unsigned n = 0;
-    for (const auto &p : allProfiles()) {
-        BenchmarkResult r = cache.getComparison(p, exp);
+    for (const auto &r : results) {
         double base_cs = static_cast<double>(r.base.totalCs())
             / static_cast<double>(r.base.totalAcquisitions());
         double ocor_cs = static_cast<double>(r.ocor.totalCs())
             / static_cast<double>(r.ocor.totalAcquisitions());
         double rel = base_cs == 0 ? 1.0 : ocor_cs / base_cs;
-        std::printf("%-8s %12.1f %12.1f %9.3f\n", p.name.c_str(),
+        std::printf("%-8s %12.1f %12.1f %9.3f\n", r.name.c_str(),
                     base_cs, ocor_cs, rel);
         rel_sum += rel;
         ++n;

@@ -23,11 +23,9 @@ main(int argc, char **argv)
            "improvement");
 
     ResultCache cache = cacheFor(opt);
-    ExperimentConfig exp = opt.experiment();
-
-    std::vector<BenchmarkResult> results;
-    for (const auto &p : allProfiles())
-        results.push_back(cache.getComparison(p, exp));
+    ParallelRunner runner(opt.jobs, &cache);
+    std::vector<BenchmarkResult> results =
+        runner.runSuite(allProfiles(), opt.experiment());
 
     std::printf("\n(a) %% of thread time spent in COH "
                 "(original design)\n");

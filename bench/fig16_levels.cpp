@@ -21,38 +21,62 @@ using namespace ocor::bench;
 namespace
 {
 
-double
-improvementWith(ResultCache &cache, const BenchmarkProfile &p,
-                ExperimentConfig exp, const OcorConfig &ocor)
+ExperimentConfig
+withOverride(const Options &opt, const OcorConfig &ocor)
 {
+    ExperimentConfig exp = opt.experiment();
     exp.ocorOverrideSet = true;
     exp.ocorOverride = ocor;
-    BenchmarkResult r = cache.getComparison(p, exp);
-    return r.cohImprovementPct();
+    return exp;
+}
+
+/** Batch all (profile, override) combos through the pool; the
+ * shared baseline runs are deduplicated by the cache. */
+std::vector<double>
+improvementsFor(ParallelRunner &runner,
+                const std::vector<BenchmarkProfile> &profiles,
+                const std::vector<ExperimentConfig> &exps)
+{
+    std::vector<BenchmarkResult> results =
+        runner.runComparisons(profiles, exps);
+    std::vector<double> out;
+    out.reserve(results.size());
+    for (const auto &r : results)
+        out.push_back(r.cohImprovementPct());
+    return out;
 }
 
 void
-levelSweep(ResultCache &cache, const Options &opt)
+levelSweep(ParallelRunner &runner, const Options &opt)
 {
     const unsigned levels[] = {1, 2, 4, 8, 16, 32};
+    const char *names[] = {"botss", "imag"};
     // (pass --quick for 16-thread runs; the full 64-thread sweep is
     // supported but slow)
+    std::vector<BenchmarkProfile> profiles;
+    std::vector<ExperimentConfig> exps;
+    for (const char *name : names) {
+        for (unsigned l : levels) {
+            OcorConfig ocor;
+            ocor.numRtrLevels = l;
+            profiles.push_back(profileByName(name));
+            exps.push_back(withOverride(opt, ocor));
+        }
+    }
+    std::vector<double> vals = improvementsFor(runner, profiles,
+                                               exps);
+
     std::printf("\nCOH improvement vs number of RTR priority "
                 "levels:\n");
     std::printf("%-8s", "levels");
     for (unsigned l : levels)
         std::printf(" %7u", l);
     std::printf("\n");
-    for (const char *name : {"botss", "imag"}) {
-        BenchmarkProfile p = profileByName(name);
+    std::size_t i = 0;
+    for (const char *name : names) {
         std::printf("%-8s", name);
-        for (unsigned l : levels) {
-            OcorConfig ocor;
-            ocor.numRtrLevels = l;
-            double v = improvementWith(cache, p, opt.experiment(),
-                                       ocor);
-            std::printf(" %6.1f%%", v);
-        }
+        for (unsigned l [[maybe_unused]] : levels)
+            std::printf(" %6.1f%%", vals[i++]);
         std::printf("\n");
     }
     std::printf("\nPaper's shape: improvement rises with levels and "
@@ -63,7 +87,7 @@ levelSweep(ResultCache &cache, const Options &opt)
 }
 
 void
-ablation(ResultCache &cache, const Options &opt)
+ablation(ParallelRunner &runner, const Options &opt)
 {
     struct Variant
     {
@@ -81,19 +105,29 @@ ablation(ResultCache &cache, const Options &opt)
         {"no Lock First (== baseline)",
          [](OcorConfig &c) { c.ruleLockFirst = false; }},
     };
+    const char *names[] = {"botss", "can"};
+
+    std::vector<BenchmarkProfile> profiles;
+    std::vector<ExperimentConfig> exps;
+    for (const auto &v : variants) {
+        for (const char *name : names) {
+            OcorConfig ocor;
+            v.tweak(ocor);
+            profiles.push_back(profileByName(name));
+            exps.push_back(withOverride(opt, ocor));
+        }
+    }
+    std::vector<double> vals = improvementsFor(runner, profiles,
+                                               exps);
+
     std::printf("\nRule ablation (COH improvement over the "
                 "original design):\n");
     std::printf("%-28s %10s %10s\n", "variant", "botss", "can");
+    std::size_t i = 0;
     for (const auto &v : variants) {
         std::printf("%-28s", v.name);
-        for (const char *name : {"botss", "can"}) {
-            BenchmarkProfile p = profileByName(name);
-            OcorConfig ocor;
-            v.tweak(ocor);
-            double impr = improvementWith(cache, p,
-                                          opt.experiment(), ocor);
-            std::printf(" %9.1f%%", impr);
-        }
+        for (const char *name [[maybe_unused]] : names)
+            std::printf(" %9.1f%%", vals[i++]);
         std::printf("\n");
     }
 }
@@ -117,9 +151,10 @@ main(int argc, char **argv)
     banner("Figure 16: COH improvement vs priority levels "
            "(+ rule ablations)");
     ResultCache cache = cacheFor(opt);
-    levelSweep(cache, opt);
+    ParallelRunner runner(opt.jobs, &cache);
+    levelSweep(runner, opt);
     if (ablate)
-        ablation(cache, opt);
+        ablation(runner, opt);
     else
         std::printf("\n(run with --ablate for the Table-1 rule "
                     "ablation study)\n");

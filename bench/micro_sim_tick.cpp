@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the simulator's per-cycle
+ * hot path: System::tick plus the accounting oracle, measured via
+ * Simulator::stepCycle on a contended profile (botss: high CS rate,
+ * many blocked threads exercising the lockHolderInCs memo) and an
+ * uncontended one (imag: mostly parallel compute). These quantify
+ * the wins from the holder memo, the live-thread list and the
+ * single-requester arbiter fast path.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "workload/benchmarks.hh"
+#include "workload/synthetic.hh"
+
+using namespace ocor;
+
+namespace
+{
+
+constexpr unsigned kThreads = 16;
+constexpr unsigned kSeed = 1;
+
+std::unique_ptr<Simulator>
+makeSim(const BenchmarkProfile &profile)
+{
+    SystemConfig cfg;
+    cfg.mesh = SystemConfig::meshFor(kThreads);
+    cfg.numThreads = kThreads;
+    cfg.seed = kSeed;
+    cfg.ocor.enabled = false;
+
+    SyntheticParams wl = profile.workload;
+    std::vector<Program> programs;
+    for (ThreadId t = 0; t < cfg.numThreads; ++t)
+        programs.push_back(buildSyntheticProgram(wl, kSeed, t));
+
+    return std::make_unique<Simulator>(cfg, std::move(programs),
+                                       profile.traffic);
+}
+
+/**
+ * Step one cycle per iteration; when the workload drains, rebuild
+ * the simulator outside the timed region so the numbers only cover
+ * live steady-state cycles.
+ */
+void
+stepLoop(benchmark::State &state, const char *name)
+{
+    BenchmarkProfile profile = profileByName(name);
+    std::unique_ptr<Simulator> sim = makeSim(profile);
+    for (auto _ : state) {
+        if (sim->system().allFinished()) {
+            state.PauseTiming();
+            sim = makeSim(profile);
+            state.ResumeTiming();
+        }
+        sim->stepCycle();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+
+void
+BM_SimTickContended(benchmark::State &state)
+{
+    stepLoop(state, "botss");
+}
+BENCHMARK(BM_SimTickContended);
+
+void
+BM_SimTickUncontended(benchmark::State &state)
+{
+    stepLoop(state, "imag");
+}
+BENCHMARK(BM_SimTickUncontended);
+
+} // namespace
+
+BENCHMARK_MAIN();

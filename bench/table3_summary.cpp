@@ -24,11 +24,9 @@ main(int argc, char **argv)
            "improvement, characteristics)");
 
     ResultCache cache = cacheFor(opt);
-    ExperimentConfig exp = opt.experiment();
-
-    std::vector<BenchmarkResult> results;
-    for (const auto &p : allProfiles())
-        results.push_back(cache.getComparison(p, exp));
+    ParallelRunner runner(opt.jobs, &cache);
+    std::vector<BenchmarkResult> results =
+        runner.runSuite(allProfiles(), opt.experiment());
 
     std::sort(results.begin(), results.end(),
               [](const BenchmarkResult &a, const BenchmarkResult &b) {

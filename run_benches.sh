@@ -1,36 +1,166 @@
 #!/bin/bash
 # Regenerate every figure/table of the paper's evaluation.
-# Full 64-thread runs are memoized in ocor_results.tsv (this
-# directory), so the 25-benchmark sweep is simulated only once.
+#
+# The sweep fans simulations out across a task pool (see DESIGN.md
+# §9): each bench takes --jobs N and full 64-thread runs are memoized
+# in ocor_results.tsv (build directory), so the 25-benchmark sweep is
+# simulated only once even across benches.
+#
+# Usage: ./run_benches.sh [options] [extra bench flags...]
+#   --jobs N          worker threads per bench (default: $OCOR_JOBS,
+#                     else the machine's hardware concurrency)
+#   --quick           forward --quick to every simulation bench
+#                     (16 threads, short runs; CI smoke mode)
+#   --compare-serial  first run the sweep with --jobs 1 --fresh, then
+#                     with --jobs N --fresh, and report the speedup
+#   anything else is forwarded verbatim to every simulation bench
+#   (e.g. --iters 8 --seed 3), after the curated per-bench flags so
+#   user flags win.
+#
+# Per-bench and total wall-clock times are printed and written as
+# machine-readable JSON to build/BENCH_sweep.json.
 #
 # Fails fast: the first benchmark that exits non-zero aborts the
 # sweep and is named on stderr.
 set -euo pipefail
 cd "$(dirname "$0")/build"
 
-run() {
+JOBS="${OCOR_JOBS:-$(nproc)}"
+QUICK=0
+COMPARE_SERIAL=0
+EXTRA=()
+while [ $# -gt 0 ]; do
+    case "$1" in
+      --jobs) JOBS="$2"; shift 2 ;;
+      --jobs=*) JOBS="${1#--jobs=}"; shift ;;
+      --quick) QUICK=1; shift ;;
+      --compare-serial) COMPARE_SERIAL=1; shift ;;
+      -h|--help)
+        sed -n '2,24p' "$0" | sed 's/^# \{0,1\}//'
+        exit 0 ;;
+      *) EXTRA+=("$1"); shift ;;
+    esac
+done
+
+SWEEP_JSON="BENCH_sweep.json"
+RECORD=1
+ROWS=()
+
+elapsed() { # elapsed <t0> <t1>
+    awk -v a="$1" -v b="$2" 'BEGIN { printf "%.3f", b - a }'
+}
+
+run_bench() { # run_bench <label> <cmd...>
+    local label="$1"
+    shift
     echo
-    echo "################ $* ################"
-    local status=0
+    echo "################ $label: $* ################"
+    local t0 t1 dt status=0
+    t0=$(date +%s.%N)
     "$@" || status=$?
+    t1=$(date +%s.%N)
+    dt=$(elapsed "$t0" "$t1")
     if [ "$status" -ne 0 ]; then
         echo "error: benchmark failed (exit $status): $*" >&2
         exit "$status"
     fi
+    echo "### $label: ${dt}s"
+    if [ "$RECORD" -eq 1 ]; then
+        ROWS+=("    {\"name\": \"$label\", \"seconds\": $dt}")
+    fi
 }
 
-run ./bench/fig02_criticality
-run ./bench/fig05_scenarios
-run ./bench/fig08_scheduling
-run ./bench/fig10_profile
-run ./bench/fig11_coh
-run ./bench/fig12_characteristics
-run ./bench/fig13_cs_time
-run ./bench/fig14_roi
-run ./bench/fig15_scalability --iters 4
-run ./bench/fig16_levels --quick --iters 3 --ablate
-run ./bench/table3_summary
-run ./bench/micro_router --benchmark_min_time=0.05
+sweep() { # sweep <jobs> [extra sim flags...]
+    local jobs="$1"
+    shift
+    local sf=(--jobs "$jobs")
+    if [ "$QUICK" -eq 1 ]; then
+        sf+=(--quick)
+    fi
+    sf+=("$@")
+    run_bench fig02_criticality \
+        ./bench/fig02_criticality "${sf[@]}" "${EXTRA[@]}"
+    # fig05/fig08 are fixed single-scenario illustrations: no flags.
+    run_bench fig05_scenarios ./bench/fig05_scenarios
+    run_bench fig08_scheduling ./bench/fig08_scheduling
+    run_bench fig10_profile \
+        ./bench/fig10_profile "${sf[@]}" "${EXTRA[@]}"
+    run_bench fig11_coh \
+        ./bench/fig11_coh "${sf[@]}" "${EXTRA[@]}"
+    run_bench fig12_characteristics \
+        ./bench/fig12_characteristics "${sf[@]}" "${EXTRA[@]}"
+    run_bench fig13_cs_time \
+        ./bench/fig13_cs_time "${sf[@]}" "${EXTRA[@]}"
+    run_bench fig14_roi \
+        ./bench/fig14_roi "${sf[@]}" "${EXTRA[@]}"
+    run_bench fig15_scalability \
+        ./bench/fig15_scalability "${sf[@]}" --iters 4 "${EXTRA[@]}"
+    run_bench fig16_levels \
+        ./bench/fig16_levels "${sf[@]}" --quick --iters 3 --ablate \
+        "${EXTRA[@]}"
+    run_bench table3_summary \
+        ./bench/table3_summary "${sf[@]}" "${EXTRA[@]}"
+    run_bench micro_router \
+        ./bench/micro_router --benchmark_min_time=0.05
+    run_bench micro_sim_tick \
+        ./bench/micro_sim_tick --benchmark_min_time=0.05
+}
+
+SERIAL_SECONDS=null
+if [ "$COMPARE_SERIAL" -eq 1 ]; then
+    echo "==== serial reference pass: --jobs 1 --fresh ===="
+    RECORD=0
+    t0=$(date +%s.%N)
+    sweep 1 --fresh
+    t1=$(date +%s.%N)
+    SERIAL_SECONDS=$(elapsed "$t0" "$t1")
+    RECORD=1
+    echo
+    echo "==== parallel pass: --jobs $JOBS --fresh ===="
+fi
+
+t0=$(date +%s.%N)
+if [ "$COMPARE_SERIAL" -eq 1 ]; then
+    sweep "$JOBS" --fresh
+else
+    sweep "$JOBS"
+fi
+t1=$(date +%s.%N)
+TOTAL_SECONDS=$(elapsed "$t0" "$t1")
+
+SPEEDUP=null
+if [ "$COMPARE_SERIAL" -eq 1 ]; then
+    SPEEDUP=$(awk -v s="$SERIAL_SECONDS" -v p="$TOTAL_SECONDS" \
+        'BEGIN { printf "%.2f", s / p }')
+fi
+
+{
+    echo "{"
+    echo "  \"jobs\": $JOBS,"
+    if [ "$QUICK" -eq 1 ]; then
+        echo "  \"quick\": true,"
+    else
+        echo "  \"quick\": false,"
+    fi
+    echo "  \"benches\": ["
+    last=$((${#ROWS[@]} - 1))
+    for i in "${!ROWS[@]}"; do
+        if [ "$i" -lt "$last" ]; then
+            echo "${ROWS[$i]},"
+        else
+            echo "${ROWS[$i]}"
+        fi
+    done
+    echo "  ],"
+    echo "  \"total_seconds\": $TOTAL_SECONDS,"
+    echo "  \"serial_total_seconds\": $SERIAL_SECONDS,"
+    echo "  \"speedup\": $SPEEDUP"
+    echo "}"
+} > "$SWEEP_JSON"
 
 echo
-echo "all benchmarks completed"
+echo "all benchmarks completed in ${TOTAL_SECONDS}s" \
+     "(jobs=$JOBS; timings: build/$SWEEP_JSON)"
+if [ "$COMPARE_SERIAL" -eq 1 ]; then
+    echo "serial reference: ${SERIAL_SECONDS}s -> speedup ${SPEEDUP}x"
+fi

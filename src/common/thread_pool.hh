@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Minimal fixed-size worker pool for embarrassingly parallel
+ * simulation fan-out.
+ *
+ * Each experiment run owns its own System (and therefore its own
+ * RNGs), so runs scheduled on different workers never share mutable
+ * state and produce bit-identical results regardless of scheduling.
+ * The pool is deliberately tiny: a FIFO of type-erased tasks, a
+ * condition variable, and join-on-destruction semantics. Results
+ * travel through std::future so callers can reassemble outputs in
+ * submission order, independent of completion order.
+ */
+
+#ifndef OCOR_COMMON_THREAD_POOL_HH
+#define OCOR_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ocor
+{
+
+/** Fixed-size FIFO task pool; joins all workers on destruction. */
+class ThreadPool
+{
+  public:
+    /** @p threads worker count; 0 = defaultConcurrency(). */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains nothing: queued-but-unstarted tasks still run before
+     * the workers exit. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue fire-and-forget work. */
+    void submit(std::function<void()> task);
+
+    /** Enqueue a value-returning task; the future carries the result
+     * (or the task's exception). */
+    template <typename F>
+    auto run(F fn) -> std::future<decltype(fn())>
+    {
+        using R = decltype(fn());
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::move(fn));
+        std::future<R> fut = task->get_future();
+        submit([task]() { (*task)(); });
+        return fut;
+    }
+
+    unsigned size() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Worker count used when the caller does not choose one: the
+     * OCOR_JOBS environment variable when set to a positive integer,
+     * otherwise std::thread::hardware_concurrency() (minimum 1).
+     */
+    static unsigned defaultConcurrency();
+
+  private:
+    void workerLoop();
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    bool stop_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace ocor
+
+#endif // OCOR_COMMON_THREAD_POOL_HH

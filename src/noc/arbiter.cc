@@ -30,6 +30,16 @@ Arbiter::pick(std::span<const std::int64_t> ranks)
     return -1; // unreachable
 }
 
+int
+Arbiter::grantSingle(unsigned idx)
+{
+    if (idx >= numInputs_)
+        ocor_panic("Arbiter: grantSingle(%u) with %u inputs", idx,
+                   numInputs_);
+    pointer_ = (idx + 1) % numInputs_;
+    return static_cast<int>(idx);
+}
+
 LpaResult
 lpaSelect(const OcorConfig &cfg, const std::vector<LpaInput> &inputs)
 {

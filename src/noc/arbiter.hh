@@ -44,6 +44,15 @@ class Arbiter
      */
     int pick(std::span<const std::int64_t> ranks);
 
+    /**
+     * Fast path for the common single-requester case: grant input
+     * @p idx directly, advancing the round-robin pointer exactly as
+     * pick() would with one non-negative rank at @p idx. Callers
+     * must only use this when @p idx is the sole requester —
+     * otherwise fairness diverges from the full arbitration.
+     */
+    int grantSingle(unsigned idx);
+
     unsigned numInputs() const { return numInputs_; }
     unsigned pointer() const { return pointer_; }
 

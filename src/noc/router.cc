@@ -85,6 +85,7 @@ Router::vcAllocation(Cycle now)
     const unsigned nvc = params_.numVcs;
 
     std::array<unsigned, NumPorts> reqCount{};
+    std::array<unsigned, NumPorts> soleReq{};
     auto ranks = std::span<std::int64_t>(vaRanks_.data(),
                                          NumPorts * nvc);
 
@@ -107,12 +108,27 @@ Router::vcAllocation(Cycle now)
             if (vc.outVc >= 0)
                 continue; // already allocated
             ++reqCount[vc.outPort];
+            soleReq[vc.outPort] = p * nvc + v;
         }
     }
 
     for (unsigned op = 0; op < NumPorts; ++op) {
         if (reqCount[op] == 0)
             continue;
+        if (reqCount[op] == 1) {
+            // Single-requester fast path: no competition, so skip
+            // the rank scan. grantSingle advances the round-robin
+            // pointer exactly as the full arbitration would.
+            int ovc = outputs_[op].findFreeVc();
+            if (ovc < 0)
+                continue;
+            unsigned idx = soleReq[op];
+            vaArb_[op].grantSingle(idx);
+            outputs_[op].vcs[ovc].allocated = true;
+            inputs_[idx / nvc].vcs[idx % nvc].outVc = ovc;
+            ++stats_.vaGrants;
+            continue;
+        }
         // Grant free output VCs to requesters in rank order; the
         // arbiter's pointer rotates ties.
         while (reqCount[op] > 0 && outputs_[op].findFreeVc() >= 0) {
@@ -160,7 +176,7 @@ Router::switchAllocation(Cycle now)
     for (unsigned p = 0; p < NumPorts; ++p) {
         auto ranks = std::span<std::int64_t>(saLocalRanks_.data(),
                                              nvc);
-        bool any = false;
+        unsigned count = 0, lastV = 0;
         for (unsigned v = 0; v < nvc; ++v) {
             ranks[v] = -1;
             auto &vc = inputs_[p].vcs[v];
@@ -173,11 +189,15 @@ Router::switchAllocation(Cycle now)
             if (ovc.credits == 0)
                 continue; // no downstream buffer space
             ranks[v] = headRank(vc);
-            any = true;
+            ++count;
+            lastV = v;
         }
-        if (!any)
+        if (count == 0)
             continue;
-        int winner = saLocalArb_[p].pick(ranks);
+        // Lone ready VC: bypass the rank arbitration (pointer still
+        // advances identically).
+        int winner = count == 1 ? saLocalArb_[p].grantSingle(lastV)
+                                : saLocalArb_[p].pick(ranks);
         if (winner >= 0) {
             auto &vc = inputs_[p].vcs[winner];
             local[p] = {true, static_cast<unsigned>(winner),
@@ -188,23 +208,26 @@ Router::switchAllocation(Cycle now)
     // Global stage: per output port, pick among input-port winners.
     for (unsigned op = 0; op < NumPorts; ++op) {
         auto &ranks = saGlobalRanks_;
-        bool any = false;
+        unsigned count = 0, lastP = 0;
         for (unsigned p = 0; p < NumPorts; ++p) {
             ranks[p] = -1;
             if (local[p].valid && local[p].outPort == op) {
                 ranks[p] = local[p].rank;
-                any = true;
+                ++count;
+                lastP = p;
             }
         }
-        if (!any)
+        if (count == 0)
             continue;
-        int winner = saGlobalArb_[op].pick(ranks);
+        int winner = count == 1 ? saGlobalArb_[op].grantSingle(lastP)
+                                : saGlobalArb_[op].pick(ranks);
         if (winner < 0)
             continue;
-        for (unsigned p = 0; p < NumPorts; ++p)
-            if (local[p].valid && local[p].outPort == op &&
-                p != static_cast<unsigned>(winner))
-                ++stats_.saConflictLosses;
+        if (count > 1)
+            for (unsigned p = 0; p < NumPorts; ++p)
+                if (local[p].valid && local[p].outPort == op &&
+                    p != static_cast<unsigned>(winner))
+                    ++stats_.saConflictLosses;
 
         // Switch traversal for the winner.
         unsigned p = static_cast<unsigned>(winner);

@@ -29,10 +29,8 @@ BenchmarkResult::spinWinImprovementPts() const
 }
 
 SystemConfig
-makeSystemConfig(const BenchmarkProfile &profile,
-                 const ExperimentConfig &exp, bool ocor_enabled)
+makeSystemConfig(const ExperimentConfig &exp, bool ocor_enabled)
 {
-    (void)profile;
     SystemConfig cfg;
     cfg.mesh = SystemConfig::meshFor(exp.threads);
     cfg.numThreads = exp.threads;
@@ -47,7 +45,7 @@ RunMetrics
 runOnce(const BenchmarkProfile &profile, const ExperimentConfig &exp,
         bool ocor_enabled, Simulator::Options opts)
 {
-    SystemConfig cfg = makeSystemConfig(profile, exp, ocor_enabled);
+    SystemConfig cfg = makeSystemConfig(exp, ocor_enabled);
 
     SyntheticParams wl = profile.workload;
     if (exp.iterationsOverride > 0)

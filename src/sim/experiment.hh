@@ -49,9 +49,13 @@ struct ExperimentConfig
     bool ocorOverrideSet = false;
 };
 
-/** Build the SystemConfig for a profile run. */
-SystemConfig makeSystemConfig(const BenchmarkProfile &profile,
-                              const ExperimentConfig &exp,
+/**
+ * Build the SystemConfig for an experiment run. Profiles differ only
+ * in workload/traffic parameters (applied in runOnce), never in
+ * machine configuration, so the config depends on the experiment
+ * knobs alone.
+ */
+SystemConfig makeSystemConfig(const ExperimentConfig &exp,
                               bool ocor_enabled);
 
 /** Run one configuration of one benchmark. */

@@ -1,0 +1,87 @@
+#include "sim/parallel_runner.hh"
+
+#include "common/log.hh"
+
+namespace ocor
+{
+
+ParallelRunner::ParallelRunner(unsigned jobs, ResultCache *cache)
+    : pool_(jobs), cache_(cache)
+{
+}
+
+RunMetrics
+ParallelRunner::runOne(const RunRequest &req)
+{
+    if (cache_)
+        return cache_->get(req.profile, req.exp, req.ocorEnabled);
+    return runOnce(req.profile, req.exp, req.ocorEnabled);
+}
+
+std::vector<RunMetrics>
+ParallelRunner::run(const std::vector<RunRequest> &reqs)
+{
+    std::vector<std::future<RunMetrics>> futs;
+    futs.reserve(reqs.size());
+    for (const auto &req : reqs)
+        futs.push_back(
+            pool_.run([this, &req]() { return runOne(req); }));
+
+    std::vector<RunMetrics> out;
+    out.reserve(reqs.size());
+    for (auto &f : futs)
+        out.push_back(f.get());
+    return out;
+}
+
+std::vector<BenchmarkResult>
+ParallelRunner::runComparisons(
+    const std::vector<BenchmarkProfile> &profiles,
+    const std::vector<ExperimentConfig> &exps)
+{
+    if (profiles.size() != exps.size())
+        ocor_panic("ParallelRunner: %zu profiles for %zu configs",
+                   profiles.size(), exps.size());
+
+    // Two requests per pair, interleaved base/ocor so both halves of
+    // a comparison start early.
+    std::vector<RunRequest> reqs;
+    reqs.reserve(2 * profiles.size());
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        reqs.push_back({profiles[i], exps[i], false});
+        reqs.push_back({profiles[i], exps[i], true});
+    }
+    std::vector<RunMetrics> metrics = run(reqs);
+
+    std::vector<BenchmarkResult> out;
+    out.reserve(profiles.size());
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        BenchmarkResult r;
+        r.name = profiles[i].name;
+        r.suite = profiles[i].suite;
+        r.highCsRate = profiles[i].highCsRate;
+        r.highNetUtil = profiles[i].highNetUtil;
+        r.base = metrics[2 * i];
+        r.ocor = metrics[2 * i + 1];
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+std::vector<BenchmarkResult>
+ParallelRunner::runSuite(const std::vector<BenchmarkProfile> &profiles,
+                         const ExperimentConfig &exp)
+{
+    std::vector<ExperimentConfig> exps(profiles.size(), exp);
+    return runComparisons(profiles, exps);
+}
+
+std::vector<BenchmarkResult>
+runSuiteParallel(const std::vector<BenchmarkProfile> &profiles,
+                 const ExperimentConfig &exp, unsigned jobs)
+{
+    ParallelRunner runner(jobs);
+    return runner.runSuite(profiles, exp);
+}
+
+} // namespace ocor

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Parallel experiment engine: fans a suite of (profile, OCOR on/off)
+ * simulations across a worker pool.
+ *
+ * Every Simulator::run owns its own System, and every stochastic
+ * component draws from RNGs seeded purely from (config, seed), so
+ * concurrent runs are bit-identical to serial ones — parallelism is
+ * free determinism-wise. Results are reassembled in request order,
+ * so output ordering never depends on scheduling either.
+ *
+ * When constructed over a ResultCache the runner inherits its
+ * thread-safety and in-flight dedup: two requests for the same key
+ * (e.g. the shared baseline of a level sweep) cost one simulation.
+ */
+
+#ifndef OCOR_SIM_PARALLEL_RUNNER_HH
+#define OCOR_SIM_PARALLEL_RUNNER_HH
+
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "sim/result_cache.hh"
+
+namespace ocor
+{
+
+/** One simulation request: a profile under a full experiment knob
+ * set (thread count, seed, OCOR override) and one OCOR setting. */
+struct RunRequest
+{
+    BenchmarkProfile profile;
+    ExperimentConfig exp;
+    bool ocorEnabled = false;
+};
+
+/** Pool-backed experiment runner; optionally cache-write-through. */
+class ParallelRunner
+{
+  public:
+    /**
+     * @p jobs worker count (0 = ThreadPool::defaultConcurrency());
+     * @p cache when non-null, every run goes through
+     * ResultCache::get (memoized + deduplicated), otherwise each
+     * request is simulated directly.
+     */
+    explicit ParallelRunner(unsigned jobs = 0,
+                            ResultCache *cache = nullptr);
+
+    /** Run every request concurrently; results in request order. */
+    std::vector<RunMetrics> run(const std::vector<RunRequest> &reqs);
+
+    /** Original/OCOR pairs for heterogeneous (profile, exp) combos,
+     * e.g. scalability or sensitivity sweeps. */
+    std::vector<BenchmarkResult>
+    runComparisons(const std::vector<BenchmarkProfile> &profiles,
+                   const std::vector<ExperimentConfig> &exps);
+
+    /** Original/OCOR pair for every profile under one knob set: the
+     * parallel equivalent of runSuite(). */
+    std::vector<BenchmarkResult>
+    runSuite(const std::vector<BenchmarkProfile> &profiles,
+             const ExperimentConfig &exp);
+
+    unsigned jobs() const { return pool_.size(); }
+
+  private:
+    RunMetrics runOne(const RunRequest &req);
+
+    ThreadPool pool_;
+    ResultCache *cache_;
+};
+
+/**
+ * Convenience wrapper: the parallel, uncached equivalent of
+ * runSuite(). Bit-identical to the serial version (the determinism
+ * test enforces this).
+ */
+std::vector<BenchmarkResult>
+runSuiteParallel(const std::vector<BenchmarkProfile> &profiles,
+                 const ExperimentConfig &exp, unsigned jobs = 0);
+
+} // namespace ocor
+
+#endif // OCOR_SIM_PARALLEL_RUNNER_HH

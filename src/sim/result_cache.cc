@@ -51,6 +51,11 @@ makeCacheKey(const BenchmarkProfile &profile,
 
 ResultCache::ResultCache(std::string path) : path_(std::move(path)) {}
 
+ResultCache::~ResultCache()
+{
+    flush();
+}
+
 namespace
 {
 
@@ -101,46 +106,130 @@ metricsFromTsv(std::istringstream &is)
     return m;
 }
 
+/** Split "key-fields \t metrics-fields" on the 7th tab. */
+std::optional<std::pair<std::string, RunMetrics>>
+parseLine(const std::string &line)
+{
+    std::size_t pos = 0;
+    for (int tabs = 0; tabs < 7; ++tabs) {
+        pos = line.find('\t', pos);
+        if (pos == std::string::npos)
+            return std::nullopt;
+        ++pos;
+    }
+    std::istringstream is(line.substr(pos));
+    auto m = metricsFromTsv(is);
+    if (!m)
+        return std::nullopt;
+    return std::make_pair(line.substr(0, pos - 1), *m);
+}
+
 } // namespace
+
+void
+ResultCache::loadLocked() const
+{
+    if (loaded_)
+        return;
+    loaded_ = true;
+    std::ifstream in(path_);
+    if (!in)
+        return;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (auto kv = parseLine(line))
+            mem_.insert(std::move(*kv));
+    }
+}
+
+void
+ResultCache::flushLocked()
+{
+    if (pending_.empty())
+        return;
+    std::ofstream out(path_, std::ios::app);
+    if (!out) {
+        ocor_warn("ResultCache: cannot write %s", path_.c_str());
+        pending_.clear();
+        return;
+    }
+    for (const auto &row : pending_)
+        out << row << '\n';
+    pending_.clear();
+}
+
+void
+ResultCache::flush()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    flushLocked();
+}
 
 std::optional<RunMetrics>
 ResultCache::lookup(const CacheKey &key) const
 {
-    std::ifstream in(path_);
-    if (!in)
+    std::lock_guard<std::mutex> lk(mu_);
+    loadLocked();
+    auto it = mem_.find(key.toString());
+    if (it == mem_.end())
         return std::nullopt;
-    const std::string wanted = key.toString();
-    std::string line;
-    while (std::getline(in, line)) {
-        if (line.rfind(wanted + "\t", 0) != 0)
-            continue;
-        std::istringstream is(line.substr(wanted.size() + 1));
-        if (auto m = metricsFromTsv(is))
-            return m;
-    }
-    return std::nullopt;
+    return it->second;
 }
 
 void
 ResultCache::store(const CacheKey &key, const RunMetrics &metrics)
 {
-    std::ofstream out(path_, std::ios::app);
-    if (!out) {
-        ocor_warn("ResultCache: cannot write %s", path_.c_str());
-        return;
-    }
-    out << key.toString() << '\t' << metricsToTsv(metrics) << '\n';
+    std::lock_guard<std::mutex> lk(mu_);
+    loadLocked();
+    const std::string ks = key.toString();
+    mem_[ks] = metrics;
+    pending_.push_back(ks + '\t' + metricsToTsv(metrics));
+    if (pending_.size() >= kFlushBatch)
+        flushLocked();
 }
 
 RunMetrics
 ResultCache::get(const BenchmarkProfile &profile,
                  const ExperimentConfig &exp, bool ocor_enabled)
 {
-    CacheKey key = makeCacheKey(profile, exp, ocor_enabled);
-    if (auto hit = lookup(key))
-        return *hit;
+    const CacheKey key = makeCacheKey(profile, exp, ocor_enabled);
+    const std::string ks = key.toString();
+
+    std::promise<RunMetrics> prom;
+    std::shared_future<RunMetrics> fut;
+    bool runner = false;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        loadLocked();
+        auto hit = mem_.find(ks);
+        if (hit != mem_.end())
+            return hit->second;
+        auto inf = inflight_.find(ks);
+        if (inf != inflight_.end()) {
+            // Someone else is already simulating this key: wait for
+            // their result instead of recomputing it.
+            fut = inf->second;
+        } else {
+            runner = true;
+            fut = prom.get_future().share();
+            inflight_.emplace(ks, fut);
+        }
+    }
+    if (!runner)
+        return fut.get();
+
+    // We won the race: simulate outside the lock.
     RunMetrics m = runOnce(profile, exp, ocor_enabled);
-    store(key, m);
+    simulationsRun_.fetch_add(1, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        mem_.emplace(ks, m);
+        pending_.push_back(ks + '\t' + metricsToTsv(m));
+        if (pending_.size() >= kFlushBatch)
+            flushLocked();
+        inflight_.erase(ks);
+    }
+    prom.set_value(m);
     return m;
 }
 

@@ -7,13 +7,26 @@
  * run takes minutes, so results are memoized in a TSV file keyed by
  * every input that affects the outcome. Delete the file (default
  * `ocor_results.tsv` in the working directory) to force re-runs.
+ *
+ * The cache is safe to hammer from many threads at once (the
+ * parallel experiment engine does exactly that): lookups hit an
+ * in-memory index loaded once from disk, concurrent get() calls for
+ * the same key are deduplicated so each configuration is simulated
+ * exactly once, and disk writes are batched and serialized so the
+ * TSV never interleaves partial lines.
  */
 
 #ifndef OCOR_SIM_RESULT_CACHE_HH
 #define OCOR_SIM_RESULT_CACHE_HH
 
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "sim/experiment.hh"
 
@@ -38,18 +51,32 @@ struct CacheKey
 CacheKey makeCacheKey(const BenchmarkProfile &profile,
                       const ExperimentConfig &exp, bool ocor_enabled);
 
-/** TSV-backed memo of RunMetrics aggregates. */
+/**
+ * TSV-backed, thread-safe memo of RunMetrics aggregates.
+ *
+ * Not copyable or movable (it owns a mutex and in-flight state);
+ * benches hold one instance and share it across worker threads.
+ */
 class ResultCache
 {
   public:
     explicit ResultCache(std::string path = "ocor_results.tsv");
+
+    /** Flushes any batched rows to disk. */
+    ~ResultCache();
+
+    ResultCache(const ResultCache &) = delete;
+    ResultCache &operator=(const ResultCache &) = delete;
 
     std::optional<RunMetrics> lookup(const CacheKey &key) const;
     void store(const CacheKey &key, const RunMetrics &metrics);
 
     /**
      * Run-or-recall one configuration; stores on miss. This is the
-     * entry point every bench binary uses.
+     * entry point every bench binary uses. Safe to call from many
+     * threads concurrently: losers of the in-flight race block until
+     * the winner's simulation finishes, so a key is never simulated
+     * twice.
      */
     RunMetrics get(const BenchmarkProfile &profile,
                    const ExperimentConfig &exp, bool ocor_enabled);
@@ -58,10 +85,35 @@ class ResultCache
     BenchmarkResult getComparison(const BenchmarkProfile &profile,
                                   const ExperimentConfig &exp);
 
+    /** Write any batched rows to the TSV now. */
+    void flush();
+
+    /** Simulations actually executed by get() (cache misses). */
+    std::uint64_t simulationsRun() const
+    {
+        return simulationsRun_.load(std::memory_order_relaxed);
+    }
+
     const std::string &path() const { return path_; }
 
   private:
+    /** Load the TSV into the in-memory index (once; mu_ held). */
+    void loadLocked() const;
+    /** Append pending rows to the TSV (mu_ held). */
+    void flushLocked();
+
+    /** Rows buffered before this many stores hit the disk. */
+    static constexpr std::size_t kFlushBatch = 16;
+
     std::string path_;
+
+    mutable std::mutex mu_;
+    mutable bool loaded_ = false;
+    mutable std::unordered_map<std::string, RunMetrics> mem_;
+    std::vector<std::string> pending_;
+    std::unordered_map<std::string, std::shared_future<RunMetrics>>
+        inflight_;
+    std::atomic<std::uint64_t> simulationsRun_{0};
 };
 
 } // namespace ocor

@@ -13,6 +13,9 @@ Simulator::Simulator(const SystemConfig &cfg,
     : cfg_(cfg), opts_(opts)
 {
     system_ = std::make_unique<System>(cfg, std::move(programs), bg);
+    live_.reserve(system_->numThreads());
+    for (ThreadId t = 0; t < system_->numThreads(); ++t)
+        live_.push_back(t);
     if (opts_.timelineHorizon > 0) {
         unsigned t = opts_.timelineThreads == 0
             ? system_->numThreads()
@@ -22,37 +25,67 @@ Simulator::Simulator(const SystemConfig &cfg,
 }
 
 void
+Simulator::accountThread(ThreadId t)
+{
+    Pcb &pcb = system_->pcb(t);
+    switch (pcb.state) {
+      case ThreadState::Running:
+        ++pcb.counters.computeCycles;
+        break;
+      case ThreadState::InCS:
+        ++pcb.counters.csCycles;
+        break;
+      case ThreadState::Spinning:
+      case ThreadState::SleepPrep:
+      case ThreadState::Sleeping:
+      case ThreadState::Waking: {
+        // Equation-1 decomposition: is the contended lock held
+        // (a predecessor is inside the CS) or idle (pure
+        // competition overhead)? The verdict is constant within a
+        // cycle, so it is derived once per (lock, cycle).
+        Addr lock = system_->qspinlock(t).currentLock();
+        bool held;
+        if (!holderMemo_.lookup(lock, held)) {
+            held = system_->lockHolderInCs(lock);
+            holderMemo_.insert(lock, held);
+        }
+        if (held)
+            ++pcb.counters.blockedHeldCycles;
+        else
+            ++pcb.counters.blockedIdleCycles;
+        break;
+      }
+      case ThreadState::Finished:
+        break;
+    }
+}
+
+void
 Simulator::accountCycle(Cycle now)
 {
-    const unsigned threads = system_->numThreads();
-    for (ThreadId t = 0; t < threads; ++t) {
-        Pcb &pcb = system_->pcb(t);
-        switch (pcb.state) {
-          case ThreadState::Running:
-            ++pcb.counters.computeCycles;
-            break;
-          case ThreadState::InCS:
-            ++pcb.counters.csCycles;
-            break;
-          case ThreadState::Spinning:
-          case ThreadState::SleepPrep:
-          case ThreadState::Sleeping:
-          case ThreadState::Waking: {
-            // Equation-1 decomposition: is the contended lock held
-            // (a predecessor is inside the CS) or idle (pure
-            // competition overhead)?
-            Addr lock = system_->qspinlock(t).currentLock();
-            if (system_->lockHolderInCs(lock))
-                ++pcb.counters.blockedHeldCycles;
-            else
-                ++pcb.counters.blockedIdleCycles;
-            break;
-          }
-          case ThreadState::Finished:
-            break;
+    holderMemo_.reset();
+    if (timeline_.enabled()) {
+        // The timeline records Finished threads too (as Done), so
+        // the recorder path walks every thread.
+        const unsigned threads = system_->numThreads();
+        for (ThreadId t = 0; t < threads; ++t) {
+            accountThread(t);
+            timeline_.record(t, now, segClassOf(system_->pcb(t).state));
         }
-        if (timeline_.enabled())
-            timeline_.record(t, now, segClassOf(pcb.state));
+        return;
+    }
+    // Hot path: only threads that can still accrue cycles. Finished
+    // is terminal, so a thread is unlinked the first cycle it is
+    // seen Finished and never revisited.
+    for (std::size_t i = 0; i < live_.size();) {
+        ThreadId t = live_[i];
+        accountThread(t);
+        if (system_->pcb(t).state == ThreadState::Finished) {
+            live_[i] = live_.back();
+            live_.pop_back();
+        } else {
+            ++i;
+        }
     }
 }
 

@@ -7,6 +7,7 @@
 #ifndef OCOR_SIM_SIMULATOR_HH
 #define OCOR_SIM_SIMULATOR_HH
 
+#include <array>
 #include <memory>
 #include <string>
 #include <vector>
@@ -17,6 +18,53 @@
 
 namespace ocor
 {
+
+/**
+ * One-cycle memo of lockHolderInCs verdicts, keyed by lock word.
+ *
+ * Within a single cycle the verdict for a lock is constant, but the
+ * accounting loop used to re-derive it (home-node lookup + lock-table
+ * probe + holder-PCB read) for every blocked thread; under heavy
+ * contention that is 63 redundant oracle walks per cycle. Capacity
+ * is bounded: past kSlots distinct locks, extra inserts are dropped
+ * and callers simply recompute — correctness never depends on a hit.
+ */
+class HolderMemo
+{
+  public:
+    static constexpr unsigned kSlots = 8;
+
+    void reset() { n_ = 0; }
+
+    bool
+    lookup(Addr lock, bool &held) const
+    {
+        for (unsigned i = 0; i < n_; ++i) {
+            if (locks_[i] == lock) {
+                held = held_[i];
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void
+    insert(Addr lock, bool held)
+    {
+        if (n_ < kSlots) {
+            locks_[n_] = lock;
+            held_[n_] = held;
+            ++n_;
+        }
+    }
+
+    unsigned size() const { return n_; }
+
+  private:
+    std::array<Addr, kSlots> locks_{};
+    std::array<bool, kSlots> held_{};
+    unsigned n_ = 0;
+};
 
 /** Optional simulation-run features. */
 struct SimOptions
@@ -49,12 +97,29 @@ class Simulator
     /** Current simulated cycle (valid after run()). */
     Cycle now() const { return now_; }
 
+    /**
+     * Advance exactly one cycle (tick + accounting) without the
+     * watchdog/ROI bookkeeping of run(). Microbenchmark hook for
+     * measuring the steady-state per-cycle cost; don't mix with
+     * run() on the same instance.
+     */
+    void
+    stepCycle()
+    {
+        system_->tick(now_);
+        accountCycle(now_);
+        ++now_;
+    }
+
     /** Per-thread lock-state dump captured when the forward-progress
      * watchdog fired (empty otherwise). */
     const std::string &hangDiagnosis() const { return hangDiagnosis_; }
 
   private:
     void accountCycle(Cycle now);
+
+    /** Charge one cycle to thread @p t's current state. */
+    void accountThread(ThreadId t);
 
     /** Monotone counter that stalls exactly when the run is wedged. */
     std::uint64_t progressSignal() const;
@@ -68,6 +133,13 @@ class Simulator
     Cycle now_ = 0;
     bool hangDetected_ = false;
     std::string hangDiagnosis_;
+
+    /** Per-cycle lockHolderInCs memo (reset each cycle). */
+    HolderMemo holderMemo_;
+
+    /** Threads not yet Finished; the accounting loop only walks
+     * these once the timeline recorder is off. */
+    std::vector<ThreadId> live_;
 };
 
 } // namespace ocor

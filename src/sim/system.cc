@@ -55,6 +55,10 @@ System::System(const SystemConfig &cfg, std::vector<Program> programs,
             bg, cfg_.seed + 7919 * (t + 1), cfg_.lockRegionBase,
             cfg_.mem.lineBytes));
     }
+
+    mcTick_.reserve(mcs_.size());
+    for (auto &[node, mc] : mcs_)
+        mcTick_.push_back(mc.get());
 }
 
 void
@@ -127,7 +131,7 @@ System::tick(Cycle now)
         l2->tick(now);
     for (auto &lm : lockMgrs_)
         lm->tick(now);
-    for (auto &[node, mc] : mcs_)
+    for (MemController *mc : mcTick_)
         mc->tick(now);
     for (auto &qs : qspins_)
         qs->tick(now);
@@ -138,10 +142,13 @@ System::tick(Cycle now)
 bool
 System::allFinished() const
 {
-    for (const auto &c : cores_)
-        if (!c->finished())
-            return false;
-    return true;
+    // Finishing is monotone per core, so resume the scan where it
+    // last stopped; the common not-finished case is one check.
+    const unsigned n = static_cast<unsigned>(cores_.size());
+    while (firstUnfinished_ < n &&
+           cores_[firstUnfinished_]->finished())
+        ++firstUnfinished_;
+    return firstUnfinished_ == n;
 }
 
 bool

@@ -99,6 +99,17 @@ class System
     std::vector<std::unique_ptr<QSpinlock>> qspins_;
     std::vector<std::unique_ptr<Core>> cores_;
     std::map<NodeId, std::unique_ptr<MemController>> mcs_;
+
+    /** Flat raw-pointer walk order for tick(): the unique_ptr
+     * vectors (and the mcs_ node map) stay the owners, but the
+     * per-cycle loops should not chase map nodes. Built once at the
+     * end of construction. */
+    std::vector<MemController *> mcTick_;
+
+    /** First index in cores_ not yet finished: threads finish
+     * monotonically, so allFinished() is O(1) amortized instead of
+     * a full scan per cycle. */
+    mutable unsigned firstUnfinished_ = 0;
 };
 
 } // namespace ocor

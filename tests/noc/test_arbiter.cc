@@ -72,6 +72,52 @@ TEST(ArbiterDeath, SizeMismatchPanics)
     EXPECT_DEATH(arb.pick(ranks), "ranks");
 }
 
+// ---- grantSingle fast path (must be invisible vs pick) ----------------
+
+TEST(Arbiter, GrantSingleMatchesPickResult)
+{
+    for (unsigned idx = 0; idx < 4; ++idx) {
+        Arbiter slow(4);
+        Arbiter fast(4);
+        std::vector<std::int64_t> ranks{-1, -1, -1, -1};
+        ranks[idx] = 0;
+        EXPECT_EQ(fast.grantSingle(idx), slow.pick(ranks));
+        EXPECT_EQ(fast.pointer(), slow.pointer()) << "idx " << idx;
+    }
+}
+
+TEST(Arbiter, GrantSingleLeavesSameStateAsPick)
+{
+    // Interleave sole-requester grants with full contended picks and
+    // require the fast-path arbiter to stay in lockstep with one
+    // that always takes the slow path.
+    Arbiter slow(4);
+    Arbiter fast(4);
+    const unsigned soles[] = {2, 0, 3, 3, 1};
+    for (unsigned idx : soles) {
+        std::vector<std::int64_t> ranks{-1, -1, -1, -1};
+        ranks[idx] = 5;
+        EXPECT_EQ(fast.grantSingle(idx), slow.pick(ranks));
+
+        std::vector<std::int64_t> tie{0, 0, 0, 0};
+        EXPECT_EQ(fast.pick(tie), slow.pick(tie)) << "after " << idx;
+        EXPECT_EQ(fast.pointer(), slow.pointer());
+    }
+}
+
+TEST(Arbiter, GrantSingleWrapsPointer)
+{
+    Arbiter arb(4);
+    EXPECT_EQ(arb.grantSingle(3), 3);
+    EXPECT_EQ(arb.pointer(), 0u); // (3 + 1) % 4
+}
+
+TEST(ArbiterDeath, GrantSingleOutOfRangePanics)
+{
+    Arbiter arb(4);
+    EXPECT_DEATH(arb.grantSingle(4), "");
+}
+
 // ---- LPA (Figure 9) ---------------------------------------------------
 
 namespace

@@ -26,11 +26,10 @@ tinyExp()
 
 TEST(Experiment, MakeSystemConfigAppliesScale)
 {
-    BenchmarkProfile p = profileByName("imag");
     for (unsigned threads : {4u, 16u, 32u, 64u}) {
         ExperimentConfig exp = tinyExp();
         exp.threads = threads;
-        SystemConfig cfg = makeSystemConfig(p, exp, true);
+        SystemConfig cfg = makeSystemConfig(exp, true);
         EXPECT_EQ(cfg.numThreads, threads);
         EXPECT_EQ(cfg.mesh.numNodes(), threads);
         EXPECT_TRUE(cfg.ocor.enabled);
@@ -39,15 +38,14 @@ TEST(Experiment, MakeSystemConfigAppliesScale)
 
 TEST(Experiment, OcorOverrideApplied)
 {
-    BenchmarkProfile p = profileByName("imag");
     ExperimentConfig exp = tinyExp();
     exp.ocorOverrideSet = true;
     exp.ocorOverride.numRtrLevels = 16;
-    SystemConfig cfg = makeSystemConfig(p, exp, true);
+    SystemConfig cfg = makeSystemConfig(exp, true);
     EXPECT_EQ(cfg.ocor.numRtrLevels, 16u);
     EXPECT_TRUE(cfg.ocor.enabled);
     // The same override with OCOR disabled keeps enabled = false.
-    SystemConfig base = makeSystemConfig(p, exp, false);
+    SystemConfig base = makeSystemConfig(exp, false);
     EXPECT_FALSE(base.ocor.enabled);
 }
 

@@ -6,7 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "sim/result_cache.hh"
 
@@ -151,6 +154,77 @@ TEST_F(ResultCacheTest, MultipleEntriesCoexist)
         ASSERT_TRUE(hit.has_value());
         EXPECT_EQ(hit->roiFinish, t * 100);
     }
+}
+
+TEST_F(ResultCacheTest, ConcurrentGetSimulatesEachKeyOnce)
+{
+    // 8 threads all hammer the same 4 configurations (2 profiles x
+    // {base, OCOR}); in-flight dedup must collapse the 32 calls to
+    // exactly 4 simulations, and every caller must see the result.
+    ResultCache cache(path_);
+    const std::vector<BenchmarkProfile> profiles = {
+        profileByName("imag"), profileByName("ferret")};
+    ExperimentConfig exp;
+    exp.threads = 4;
+    exp.iterationsOverride = 2;
+    exp.seed = 3;
+
+    const unsigned kHammerThreads = 8;
+    std::vector<std::thread> threads;
+    for (unsigned i = 0; i < kHammerThreads; ++i) {
+        threads.emplace_back([&] {
+            for (const auto &p : profiles) {
+                for (bool ocor : {false, true}) {
+                    RunMetrics m = cache.get(p, exp, ocor);
+                    EXPECT_GT(m.roiFinish, 0u);
+                    EXPECT_EQ(m.threads, 4u);
+                }
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(cache.simulationsRun(), 4u);
+
+    cache.flush();
+    // The TSV must hold exactly one uncorrupted line per key.
+    std::ifstream in(path_);
+    ASSERT_TRUE(in.is_open());
+    std::string line;
+    unsigned lines = 0;
+    while (std::getline(in, line))
+        if (!line.empty())
+            ++lines;
+    EXPECT_EQ(lines, 4u);
+    ResultCache fresh(path_);
+    for (const auto &p : profiles) {
+        for (bool ocor : {false, true}) {
+            auto hit = fresh.lookup(makeCacheKey(p, exp, ocor));
+            ASSERT_TRUE(hit.has_value())
+                << p.name << (ocor ? " ocor" : " base");
+            EXPECT_GT(hit->roiFinish, 0u);
+        }
+    }
+}
+
+TEST_F(ResultCacheTest, GetMemoizesAcrossInstances)
+{
+    ExperimentConfig exp;
+    exp.threads = 4;
+    exp.iterationsOverride = 2;
+    exp.seed = 7;
+    BenchmarkProfile p = profileByName("can");
+    RunMetrics first;
+    {
+        ResultCache cache(path_);
+        first = cache.get(p, exp, true);
+        EXPECT_EQ(cache.simulationsRun(), 1u);
+    } // destructor flushes the batched row
+    ResultCache cache2(path_);
+    RunMetrics again = cache2.get(p, exp, true);
+    EXPECT_EQ(cache2.simulationsRun(), 0u); // pure disk hit
+    EXPECT_EQ(again.roiFinish, first.roiFinish);
+    EXPECT_EQ(again.totalCoh(), first.totalCoh());
 }
 
 TEST_F(ResultCacheTest, MakeCacheKeyCapturesOcorOverride)
