@@ -12,6 +12,17 @@
  *   --fresh       ignore the result cache for this invocation
  *   --jobs N      simulations run concurrently (default: OCOR_JOBS
  *                 env var, else hardware concurrency)
+ *
+ * Observability flags (all off by default; see DESIGN.md §10):
+ *   --trace[=CATS]          enable event tracing for the categories
+ *                           "lock", "noc", "sim" (comma-separated;
+ *                           bare --trace means all)
+ *   --trace-out FILE        trace destination (default trace.json;
+ *                           a .csv suffix selects the CSV exporter)
+ *   --stats-json FILE       dump the hierarchical stats registry
+ *   --telemetry-interval N  sample interval telemetry every N cycles
+ *   --telemetry-out FILE    telemetry CSV (default telemetry.csv)
+ *   --pool-util             report worker-pool utilization
  */
 
 #ifndef OCOR_BENCH_BENCH_UTIL_HH
@@ -20,8 +31,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
+#include "common/trace.hh"
 #include "sim/parallel_runner.hh"
 #include "sim/result_cache.hh"
 
@@ -36,6 +49,16 @@ struct Options
     std::uint64_t seed = 1;
     bool fresh = false;
     unsigned jobs = 0; ///< 0 = ThreadPool::defaultConcurrency()
+
+    // --- observability (every knob off/empty by default) -----------
+    std::string traceCats;      ///< "" = tracing off
+    std::string traceOut = "trace.json";
+    std::string statsJson;      ///< "" = no stats dump
+    Cycle telemetryInterval = 0;
+    std::string telemetryOut = "telemetry.csv";
+    bool poolUtil = false;
+
+    bool tracing() const { return !traceCats.empty(); }
 
     ExperimentConfig
     experiment() const
@@ -63,6 +86,22 @@ parseOptions(int argc, char **argv)
             }
             return argv[++i];
         };
+        // "--flag=value" and "--flag value" are both accepted for
+        // the value-carrying observability flags.
+        auto valueOf = [&](const char *flag,
+                           std::string &out) -> bool {
+            if (a == flag) {
+                out = next();
+                return true;
+            }
+            std::string pfx = std::string(flag) + "=";
+            if (a.rfind(pfx, 0) == 0) {
+                out = a.substr(pfx.size());
+                return true;
+            }
+            return false;
+        };
+        std::string v;
         if (a == "--threads")
             opt.threads = static_cast<unsigned>(std::atoi(next()));
         else if (a == "--iters")
@@ -77,12 +116,30 @@ parseOptions(int argc, char **argv)
             opt.fresh = true;
         else if (a == "--jobs")
             opt.jobs = static_cast<unsigned>(std::atoi(next()));
+        else if (a == "--trace")
+            opt.traceCats = "all"; // bare form: everything
+        else if (valueOf("--trace", v))
+            opt.traceCats = v;
+        else if (valueOf("--trace-out", v))
+            opt.traceOut = v;
+        else if (valueOf("--stats-json", v))
+            opt.statsJson = v;
+        else if (valueOf("--telemetry-interval", v))
+            opt.telemetryInterval = static_cast<Cycle>(
+                std::strtoull(v.c_str(), nullptr, 10));
+        else if (valueOf("--telemetry-out", v))
+            opt.telemetryOut = v;
+        else if (a == "--pool-util")
+            opt.poolUtil = true;
         else {
             std::fprintf(stderr,
                          "unknown flag %s\n"
                          "usage: %s [--threads N] [--iters N] "
                          "[--seed N] [--quick] [--fresh] "
-                         "[--jobs N]\n",
+                         "[--jobs N] [--trace[=CATS]] "
+                         "[--trace-out FILE] [--stats-json FILE] "
+                         "[--telemetry-interval N] "
+                         "[--telemetry-out FILE] [--pool-util]\n",
                          a.c_str(), argv[0]);
             std::exit(1);
         }
@@ -99,6 +156,39 @@ cacheFor(const Options &opt)
         return ResultCache("/dev/null");
     }
     return ResultCache("ocor_results.tsv");
+}
+
+/** Open @p path for writing, aborting loudly on failure. */
+inline std::ofstream
+openArtifact(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        std::exit(1);
+    }
+    return out;
+}
+
+/**
+ * Export @p tracer to @p path: the Chrome trace-event JSON backend
+ * unless the file name ends in ".csv". Prints a one-line summary.
+ */
+inline void
+writeTrace(const Tracer &tracer, const std::string &path)
+{
+    std::ofstream out = openArtifact(path);
+    const bool csv = path.size() >= 4 &&
+        path.compare(path.size() - 4, 4, ".csv") == 0;
+    if (csv)
+        tracer.exportCsv(out);
+    else
+        tracer.exportChromeJson(out);
+    std::printf("trace: %llu events recorded (%llu overwritten) "
+                "-> %s\n",
+                static_cast<unsigned long long>(tracer.emitted()),
+                static_cast<unsigned long long>(tracer.dropped()),
+                path.c_str());
 }
 
 /** Horizontal ASCII bar scaled to @p width at @p full. */

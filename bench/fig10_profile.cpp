@@ -31,15 +31,24 @@ struct ProfileRun
 
 constexpr Cycle kHorizon = 60000;
 
+/**
+ * One timeline run. When @p observe is set the run carries the
+ * observability flags: event tracing per --trace, interval telemetry
+ * per --telemetry-interval, and a stats-registry dump per
+ * --stats-json, all exported before the Simulator dies. Artifacts are
+ * produced for the OCOR run only (the interesting one for Figure 10).
+ */
 ProfileRun
 computeRun(const BenchmarkProfile &profile, const Options &opt,
-           bool ocor_on)
+           bool ocor_on, bool observe)
 {
     SystemConfig cfg;
     cfg.mesh = SystemConfig::meshFor(opt.threads);
     cfg.numThreads = opt.threads;
     cfg.seed = opt.seed;
     cfg.ocor.enabled = ocor_on;
+    if (observe && opt.tracing())
+        cfg.trace.categories = parseTraceCats(opt.traceCats);
 
     SyntheticParams wl = profile.workload;
     wl.iterations = opt.iterations;
@@ -50,11 +59,34 @@ computeRun(const BenchmarkProfile &profile, const Options &opt,
     SimOptions sim_opts;
     sim_opts.timelineHorizon = kHorizon;
     sim_opts.timelineThreads = 16;
+    if (observe)
+        sim_opts.telemetryInterval = opt.telemetryInterval;
     Simulator sim(cfg, std::move(programs), profile.traffic,
                   sim_opts);
     ProfileRun run;
     run.m = sim.run();
     run.tl = sim.timeline();
+
+    if (observe) {
+        if (Tracer *tr = sim.system().tracer())
+            writeTrace(*tr, opt.traceOut);
+        if (!opt.statsJson.empty()) {
+            StatsRegistry reg;
+            sim.system().registerStats(reg);
+            std::ofstream out = openArtifact(opt.statsJson);
+            reg.dumpJson(out);
+            std::printf("stats: %zu entries -> %s\n", reg.size(),
+                        opt.statsJson.c_str());
+        }
+        if (opt.telemetryInterval > 0) {
+            std::ofstream out = openArtifact(opt.telemetryOut);
+            sim.telemetry().exportCsv(out);
+            std::printf("telemetry: %zu samples x %zu rows -> %s\n",
+                        sim.telemetry().points(),
+                        sim.telemetry().rows().size(),
+                        opt.telemetryOut.c_str());
+        }
+    }
     return run;
 }
 
@@ -121,15 +153,27 @@ main(int argc, char **argv)
            "original vs OCOR");
     BenchmarkProfile profile = profileByName("body");
 
-    // The two timeline runs are independent; compute them
-    // concurrently and print serially in the original order.
-    ThreadPool pool(opt.jobs == 0 ? 2 : std::min(opt.jobs, 2u));
-    auto base = pool.run(
-        [&] { return computeRun(profile, opt, false); });
-    auto ocor = pool.run(
-        [&] { return computeRun(profile, opt, true); });
-    printRun(base.get(), false);
-    printRun(ocor.get(), true);
+    const bool observe = opt.tracing() || !opt.statsJson.empty() ||
+        opt.telemetryInterval > 0;
+    if (observe) {
+        // Observability artifacts print as they are written; run
+        // serially so the exports interleave deterministically with
+        // the profile output.
+        ProfileRun base = computeRun(profile, opt, false, false);
+        ProfileRun ocor = computeRun(profile, opt, true, true);
+        printRun(base, false);
+        printRun(ocor, true);
+    } else {
+        // The two timeline runs are independent; compute them
+        // concurrently and print serially in the original order.
+        ThreadPool pool(opt.jobs == 0 ? 2 : std::min(opt.jobs, 2u));
+        auto base = pool.run(
+            [&] { return computeRun(profile, opt, false, false); });
+        auto ocor = pool.run(
+            [&] { return computeRun(profile, opt, true, false); });
+        printRun(base.get(), false);
+        printRun(ocor.get(), true);
+    }
     std::printf("\nExpected shape: with OCOR the blocked ('x') "
                 "share shrinks and the run compresses.\n");
     return 0;

@@ -7,6 +7,7 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
@@ -25,8 +26,11 @@ main(int argc, char **argv)
 
     ResultCache cache = cacheFor(opt);
     ParallelRunner runner(opt.jobs, &cache);
+    const auto t0 = std::chrono::steady_clock::now();
     std::vector<BenchmarkResult> results =
         runner.runSuite(allProfiles(), opt.experiment());
+    const double elapsed = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
 
     std::sort(results.begin(), results.end(),
               [](const BenchmarkResult &a, const BenchmarkResult &b) {
@@ -65,5 +69,44 @@ main(int argc, char **argv)
                 "(paper: 39.9%% / 14.4%%)\n", "overall average",
                 (coh_p + coh_o) / (np + no),
                 (roi_p + roi_o) / (np + no));
+
+    // Latency tails: packet latency and lock-handover gap, original
+    // vs OCOR. Zeros appear for results replayed from a cache file
+    // written before these columns existed (rerun with --fresh).
+    std::printf("\nlatency percentiles (cycles), original -> OCOR:\n");
+    std::printf("%-8s %26s %26s\n", "program",
+                "packet p50/p95/p99", "handover p50/p95/p99");
+    for (const auto &r : results)
+        std::printf("%-8s %7.1f/%7.1f/%7.1f  %7.1f/%7.1f/%7.1f\n"
+                    "%-8s %7.1f/%7.1f/%7.1f  %7.1f/%7.1f/%7.1f\n",
+                    r.name.c_str(), r.base.p50PacketLatency,
+                    r.base.p95PacketLatency, r.base.p99PacketLatency,
+                    r.base.p50LockHandover, r.base.p95LockHandover,
+                    r.base.p99LockHandover, "  +ocor",
+                    r.ocor.p50PacketLatency, r.ocor.p95PacketLatency,
+                    r.ocor.p99PacketLatency, r.ocor.p50LockHandover,
+                    r.ocor.p95LockHandover, r.ocor.p99LockHandover);
+
+    if (opt.poolUtil) {
+        SampleStat rs = runner.runSeconds();
+        std::printf("\npool: %u workers, %llu tasks, utilization "
+                    "%.1f%% over %.2fs wall\n",
+                    runner.jobs(),
+                    static_cast<unsigned long long>(
+                        runner.pool().tasksExecuted()),
+                    100.0 * runner.utilization(elapsed), elapsed);
+        std::printf("runs: %llu (mean %.3fs, max %.3fs each)\n",
+                    static_cast<unsigned long long>(
+                        runner.runsExecuted()),
+                    rs.mean(), rs.max());
+    }
+    if (!opt.statsJson.empty()) {
+        StatsRegistry reg;
+        runner.registerStats(reg);
+        std::ofstream out = openArtifact(opt.statsJson);
+        reg.dumpJson(out);
+        std::printf("stats: %zu entries -> %s\n", reg.size(),
+                    opt.statsJson.c_str());
+    }
     return 0;
 }

@@ -13,6 +13,13 @@
 #                     (16 threads, short runs; CI smoke mode)
 #   --compare-serial  first run the sweep with --jobs 1 --fresh, then
 #                     with --jobs N --fresh, and report the speedup
+#   --observe         turn the observability stack on for the sweep
+#                     (DESIGN.md §10): fig10 exports an event trace
+#                     (build/trace.json), a stats-registry dump
+#                     (build/stats.json) and interval telemetry
+#                     (build/telemetry.csv); table3 reports worker-pool
+#                     utilization, which is folded into
+#                     build/BENCH_sweep.json
 #   anything else is forwarded verbatim to every simulation bench
 #   (e.g. --iters 8 --seed 3), after the curated per-bench flags so
 #   user flags win.
@@ -28,6 +35,7 @@ cd "$(dirname "$0")/build"
 JOBS="${OCOR_JOBS:-$(nproc)}"
 QUICK=0
 COMPARE_SERIAL=0
+OBSERVE=0
 EXTRA=()
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -35,12 +43,24 @@ while [ $# -gt 0 ]; do
       --jobs=*) JOBS="${1#--jobs=}"; shift ;;
       --quick) QUICK=1; shift ;;
       --compare-serial) COMPARE_SERIAL=1; shift ;;
+      --observe) OBSERVE=1; shift ;;
       -h|--help)
-        sed -n '2,24p' "$0" | sed 's/^# \{0,1\}//'
+        sed -n '2,31p' "$0" | sed 's/^# \{0,1\}//'
         exit 0 ;;
       *) EXTRA+=("$1"); shift ;;
     esac
 done
+
+# Curated observability flags (only with --observe). fig10 is the
+# traced run; table3 owns the shared runner, so it reports the pool.
+OBS_FIG10=()
+OBS_TABLE3=()
+if [ "$OBSERVE" -eq 1 ]; then
+    OBS_FIG10=(--trace=lock,noc,sim --trace-out trace.json
+               --stats-json stats.json --telemetry-interval 200
+               --telemetry-out telemetry.csv)
+    OBS_TABLE3=(--pool-util --stats-json runner_stats.json)
+fi
 
 SWEEP_JSON="BENCH_sweep.json"
 RECORD=1
@@ -84,7 +104,8 @@ sweep() { # sweep <jobs> [extra sim flags...]
     run_bench fig05_scenarios ./bench/fig05_scenarios
     run_bench fig08_scheduling ./bench/fig08_scheduling
     run_bench fig10_profile \
-        ./bench/fig10_profile "${sf[@]}" "${EXTRA[@]}"
+        ./bench/fig10_profile "${sf[@]}" "${OBS_FIG10[@]}" \
+        "${EXTRA[@]}"
     run_bench fig11_coh \
         ./bench/fig11_coh "${sf[@]}" "${EXTRA[@]}"
     run_bench fig12_characteristics \
@@ -99,7 +120,8 @@ sweep() { # sweep <jobs> [extra sim flags...]
         ./bench/fig16_levels "${sf[@]}" --quick --iters 3 --ablate \
         "${EXTRA[@]}"
     run_bench table3_summary \
-        ./bench/table3_summary "${sf[@]}" "${EXTRA[@]}"
+        ./bench/table3_summary "${sf[@]}" "${OBS_TABLE3[@]}" \
+        "${EXTRA[@]}"
     run_bench micro_router \
         ./bench/micro_router --benchmark_min_time=0.05
     run_bench micro_sim_tick \
@@ -157,6 +179,40 @@ fi
     echo "  \"speedup\": $SPEEDUP"
     echo "}"
 } > "$SWEEP_JSON"
+
+# Fold the table3 runner's pool stats (worker-pool utilization over
+# the table3 leg) into the sweep JSON, keyed "pool".
+if [ "$OBSERVE" -eq 1 ] && command -v python3 > /dev/null; then
+    python3 - "$SWEEP_JSON" runner_stats.json <<'PYEOF'
+import json
+import sys
+
+sweep_path, stats_path = sys.argv[1], sys.argv[2]
+with open(sweep_path) as f:
+    sweep = json.load(f)
+with open(stats_path) as f:
+    stats = json.load(f)
+
+size = stats.get("runner.pool.size", 0)
+busy = stats.get("runner.pool.busy_ns_total", 0) * 1e-9
+table3 = next((b["seconds"] for b in sweep["benches"]
+               if b["name"] == "table3_summary"), None)
+util = busy / (table3 * size) if table3 and size else None
+sweep["pool"] = {
+    "size": size,
+    "runs": stats.get("runner.runs"),
+    "busy_seconds": round(busy, 3),
+    "run_seconds_mean": stats.get("runner.run_seconds_mean"),
+    "run_seconds_max": stats.get("runner.run_seconds_max"),
+    "table3_utilization":
+        round(util, 3) if util is not None else None,
+}
+with open(sweep_path, "w") as f:
+    json.dump(sweep, f, indent=2)
+    f.write("\n")
+print("pool utilization folded into", sweep_path)
+PYEOF
+fi
 
 echo
 echo "all benchmarks completed in ${TOTAL_SECONDS}s" \

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Validate the observability artifacts of a traced simulation run.
+
+Usage: check_observability.py [trace.json] [stats.json] [telemetry.csv]
+
+Checks that the trace is well-formed Chrome trace-event JSON, that
+stats.json carries the required hierarchical keys with sane percentile
+ordering, and that the telemetry CSV has the documented shape. Exits
+non-zero (with a message) on the first violation; CI runs this after
+the traced smoke simulation.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_observability: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path):
+    with open(path) as f:
+        events = json.load(f)
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: expected a non-empty event array")
+    for ev in events:
+        for key in ("name", "ph", "pid"):
+            if key not in ev:
+                fail(f"{path}: event missing '{key}': {ev}")
+    phases = {ev["ph"] for ev in events}
+    # A traced contended run always records critical sections
+    # (duration slices) and instants, plus the metadata header.
+    for ph in ("M", "B", "E", "i"):
+        if ph not in phases:
+            fail(f"{path}: no '{ph}' events (got {sorted(phases)})")
+    print(f"{path}: OK ({len(events)} events)")
+
+
+def check_stats(path):
+    with open(path) as f:
+        stats = json.load(f)
+    required = [
+        "system.net.packets_delivered",
+        "system.net.packet_latency",
+        "system.net.packet_latency_hist",
+        "system.router0.sa_grants",
+        "system.ni0.packets_injected",
+        "system.lockmgr0.grants",
+        "system.lockmgr0.handover_latency_hist",
+        "system.thread0.acquisitions",
+        "system.trace.emitted",
+    ]
+    missing = [k for k in required if k not in stats]
+    if missing:
+        fail(f"{path}: missing required keys {missing}")
+    hist = stats["system.net.packet_latency_hist"]
+    if not hist["p50"] <= hist["p95"] <= hist["p99"]:
+        fail(f"{path}: packet-latency percentiles out of order: "
+             f"{hist['p50']}/{hist['p95']}/{hist['p99']}")
+    if hist["count"] <= 0:
+        fail(f"{path}: packet-latency histogram is empty")
+    print(f"{path}: OK ({len(stats)} entries)")
+
+
+def check_telemetry(path):
+    with open(path) as f:
+        header = f.readline().strip()
+        if header != "cycle,kind,index,value":
+            fail(f"{path}: bad header '{header}'")
+        kinds = set()
+        rows = 0
+        for line in f:
+            cycle, kind, index, value = line.strip().split(",")
+            int(cycle), int(index), float(value)
+            kinds.add(kind)
+            rows += 1
+    expected = {"router_occupancy", "link_util", "thread_seg"}
+    if kinds != expected:
+        fail(f"{path}: kinds {sorted(kinds)} != {sorted(expected)}")
+    if rows == 0:
+        fail(f"{path}: no telemetry rows")
+    print(f"{path}: OK ({rows} rows)")
+
+
+def main(argv):
+    trace = argv[1] if len(argv) > 1 else "trace.json"
+    stats = argv[2] if len(argv) > 2 else "stats.json"
+    telemetry = argv[3] if len(argv) > 3 else "telemetry.csv"
+    check_trace(trace)
+    check_stats(stats)
+    check_telemetry(telemetry)
+    print("observability artifacts OK")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -1,9 +1,59 @@
 #include "common/stats.hh"
 
+#include <cmath>
 #include <cstdio>
+
+#include "common/log.hh"
 
 namespace ocor
 {
+
+void
+Histogram::merge(const Histogram &o)
+{
+    if (o.bucketWidth_ != bucketWidth_ ||
+        o.buckets_.size() != buckets_.size())
+        ocor_panic("Histogram::merge: shape mismatch (%g x %zu vs "
+                   "%g x %zu)", bucketWidth_, buckets_.size(),
+                   o.bucketWidth_, o.buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += o.buckets_[i];
+    overflow_ += o.overflow_;
+    stat_.merge(o.stat_);
+}
+
+double
+Histogram::percentile(double p) const
+{
+    const std::uint64_t total = stat_.count();
+    if (total == 0)
+        return 0.0;
+    if (p <= 0.0)
+        return stat_.min();
+    if (p >= 100.0)
+        return stat_.max();
+
+    // Nearest-rank with in-bucket interpolation: the target sample is
+    // the ceil(p% * total)-th smallest.
+    const std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(total)));
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        if (cum + buckets_[i] >= rank) {
+            double within = static_cast<double>(rank - cum)
+                / static_cast<double>(buckets_[i]);
+            double v = (static_cast<double>(i) + within)
+                * bucketWidth_;
+            return std::min(std::max(v, stat_.min()), stat_.max());
+        }
+        cum += buckets_[i];
+    }
+    // Rank lives in the overflow region: the bucket shape cannot
+    // resolve it, but the exact maximum is always tracked.
+    return stat_.max();
+}
 
 double
 pct(double part, double whole)

@@ -66,7 +66,14 @@ class SampleStat
     double max_ = 0.0;
 };
 
-/** Fixed-bucket histogram over [0, bucketWidth * numBuckets). */
+/**
+ * Fixed-bucket histogram over [0, bucketWidth * numBuckets).
+ *
+ * Samples at or past the covered range land in an explicit overflow
+ * counter rather than silently inflating the last bucket, so bucket
+ * heights always mean what they say; percentile() falls back to the
+ * exact maximum when the requested rank lives in the overflow.
+ */
 class Histogram
 {
   public:
@@ -81,18 +88,35 @@ class Histogram
         std::size_t idx = v <= 0.0
             ? 0
             : static_cast<std::size_t>(v / bucketWidth_);
-        if (idx >= buckets_.size())
-            idx = buckets_.size() - 1;
+        if (idx >= buckets_.size()) {
+            ++overflow_;
+            return;
+        }
         ++buckets_[idx];
     }
+
+    /** Combine another histogram of identical shape into this one. */
+    void merge(const Histogram &o);
+
+    /**
+     * Value at percentile @p p in [0, 100], linearly interpolated
+     * within the containing bucket and clamped to the observed
+     * [min, max]. Ranks falling in the overflow report the maximum.
+     * 0 when empty.
+     */
+    double percentile(double p) const;
 
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }
     const SampleStat &stat() const { return stat_; }
     double bucketWidth() const { return bucketWidth_; }
 
+    /** Samples at or beyond bucketWidth * numBuckets. */
+    std::uint64_t overflow() const { return overflow_; }
+
   private:
     double bucketWidth_;
     std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_ = 0;
     SampleStat stat_;
 };
 

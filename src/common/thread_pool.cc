@@ -9,9 +9,12 @@ ThreadPool::ThreadPool(unsigned threads)
 {
     if (threads == 0)
         threads = defaultConcurrency();
+    busyNs_ = std::make_unique<std::atomic<std::uint64_t>[]>(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        busyNs_[i].store(0, std::memory_order_relaxed);
     workers_.reserve(threads);
     for (unsigned i = 0; i < threads; ++i)
-        workers_.emplace_back([this]() { workerLoop(); });
+        workers_.emplace_back([this, i]() { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -25,8 +28,17 @@ ThreadPool::~ThreadPool()
         w.join();
 }
 
+namespace
+{
+
+/** Index of the worker running on this thread (set by workerLoop;
+ * only meaningful inside a task). */
+thread_local unsigned currentWorker = 0;
+
+} // namespace
+
 void
-ThreadPool::submit(std::function<void()> task)
+ThreadPool::submitRaw(std::function<void()> task)
 {
     {
         std::lock_guard<std::mutex> lk(mu_);
@@ -36,8 +48,25 @@ ThreadPool::submit(std::function<void()> task)
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::submit(std::function<void()> task)
 {
+    submitRaw([this, t = std::move(task)]() {
+        Timed timed(*this);
+        t();
+    });
+}
+
+void
+ThreadPool::account(std::uint64_t ns)
+{
+    busyNs_[currentWorker].fetch_add(ns, std::memory_order_relaxed);
+    tasksExecuted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+ThreadPool::workerLoop(unsigned worker)
+{
+    currentWorker = worker;
     for (;;) {
         std::function<void()> task;
         {
@@ -50,6 +79,15 @@ ThreadPool::workerLoop()
         }
         task();
     }
+}
+
+std::uint64_t
+ThreadPool::totalBusyNs() const
+{
+    std::uint64_t n = 0;
+    for (unsigned i = 0; i < size(); ++i)
+        n += busyNs(i);
+    return n;
 }
 
 unsigned

@@ -15,7 +15,10 @@
 #ifndef OCOR_COMMON_THREAD_POOL_HH
 #define OCOR_COMMON_THREAD_POOL_HH
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -51,16 +54,43 @@ class ThreadPool
     auto run(F fn) -> std::future<decltype(fn())>
     {
         using R = decltype(fn());
+        // Accounting lives inside the packaged task, before the
+        // promise is fulfilled: once a caller's future is ready,
+        // busyNs()/tasksExecuted() already include that task.
         auto task = std::make_shared<std::packaged_task<R()>>(
-            std::move(fn));
+            [this, fn = std::move(fn)]() mutable {
+                Timed timed(*this);
+                return fn();
+            });
         std::future<R> fut = task->get_future();
-        submit([task]() { (*task)(); });
+        submitRaw([task]() { (*task)(); });
         return fut;
     }
 
     unsigned size() const
     {
         return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Wall-clock nanoseconds worker @p w has spent inside tasks.
+     * Monotone; safe to read while the pool runs, and already
+     * includes any run() task whose future has become ready.
+     */
+    std::uint64_t
+    busyNs(unsigned w) const
+    {
+        return busyNs_[w].load(std::memory_order_relaxed);
+    }
+
+    /** Sum of busyNs over all workers. */
+    std::uint64_t totalBusyNs() const;
+
+    /** Tasks that have finished executing (across all workers). */
+    std::uint64_t
+    tasksExecuted() const
+    {
+        return tasksExecuted_.load(std::memory_order_relaxed);
     }
 
     /**
@@ -71,13 +101,48 @@ class ThreadPool
     static unsigned defaultConcurrency();
 
   private:
-    void workerLoop();
+    /** Times one task and books it to the executing worker; the
+     * destructor runs before the task's future becomes ready. */
+    class Timed
+    {
+      public:
+        explicit Timed(ThreadPool &pool)
+            : pool_(pool), t0_(std::chrono::steady_clock::now())
+        {
+        }
+
+        ~Timed()
+        {
+            auto ns = std::chrono::duration_cast<
+                std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0_).count();
+            pool_.account(static_cast<std::uint64_t>(ns));
+        }
+
+      private:
+        ThreadPool &pool_;
+        std::chrono::steady_clock::time_point t0_;
+    };
+
+    /** Enqueue without the accounting wrapper (run() tasks account
+     * for themselves inside the packaged task). */
+    void submitRaw(std::function<void()> task);
+
+    /** Book @p ns of task time to the calling worker thread. */
+    void account(std::uint64_t ns);
+
+    void workerLoop(unsigned worker);
 
     std::mutex mu_;
     std::condition_variable cv_;
     std::deque<std::function<void()>> queue_;
     bool stop_ = false;
     std::vector<std::thread> workers_;
+
+    /** Per-worker task wall time; indexed by worker, written only by
+     * that worker (atomic so observers race-freely read live). */
+    std::unique_ptr<std::atomic<std::uint64_t>[]> busyNs_;
+    std::atomic<std::uint64_t> tasksExecuted_{0};
 };
 
 } // namespace ocor

@@ -12,6 +12,7 @@ Link::sendFlit(const Flit &flit, Cycle now)
         ocor_panic("Link: two flits sent in cycle %llu",
                    static_cast<unsigned long long>(now));
     lastFlitSend_ = now;
+    ++flitsCarried_;
 
     if (fault_ && fault_->active()) {
         Flit f = flit;

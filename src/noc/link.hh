@@ -58,8 +58,13 @@ class Link
     unsigned latency() const { return latency_; }
     bool idle() const { return flits_.empty() && credits_.empty(); }
 
+    /** Flits ever put on the wire (dropped ones included): the
+     * utilization numerator sampled by interval telemetry. */
+    std::uint64_t flitsCarried() const { return flitsCarried_; }
+
   private:
     unsigned latency_;
+    std::uint64_t flitsCarried_ = 0;
     Cycle lastFlitSend_ = neverCycle;
     std::deque<std::pair<Cycle, Flit>> flits_;
     std::deque<std::pair<Cycle, unsigned>> credits_;

@@ -72,9 +72,11 @@ Network::setNodeSink(NodeId node, NetworkInterface::DeliverFn fn)
             double lat =
                 static_cast<double>(pkt->ejectCycle - pkt->injectCycle);
             stats_.packetLatency.sample(lat);
+            stats_.packetLatencyHist.sample(lat);
             if (isLockProtocol(pkt->type)) {
                 ++stats_.lockPacketsDelivered;
                 stats_.lockPacketLatency.sample(lat);
+                stats_.lockPacketLatencyHist.sample(lat);
             } else {
                 stats_.dataPacketLatency.sample(lat);
             }
@@ -113,6 +115,15 @@ Network::idle() const
         if (!l->idle())
             return false;
     return true;
+}
+
+void
+Network::setTracer(Tracer *t)
+{
+    for (auto &r : routers_)
+        r->setTracer(t);
+    for (auto &ni : nis_)
+        ni->setTracer(t);
 }
 
 std::uint64_t

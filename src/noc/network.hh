@@ -21,6 +21,8 @@
 namespace ocor
 {
 
+class Tracer;
+
 /** Network-wide aggregate statistics. */
 struct NetworkStats
 {
@@ -29,6 +31,11 @@ struct NetworkStats
     SampleStat packetLatency;      ///< inject -> eject, all packets
     SampleStat lockPacketLatency;  ///< lock-protocol packets only
     SampleStat dataPacketLatency;  ///< everything else
+    /** Latency distributions feeding p50/p95/p99 reporting. Bucket
+     * width 2 cycles x 256 buckets covers [0, 512); longer transits
+     * land in the explicit overflow bucket. */
+    Histogram packetLatencyHist{2.0, 256};
+    Histogram lockPacketLatencyHist{2.0, 256};
 };
 
 /** A width x height mesh of 2-stage VC routers with one NI per node. */
@@ -67,6 +74,16 @@ class Network
     std::uint64_t totalFlitsInjected() const;
     std::uint64_t totalPacketsInjected() const;
     std::uint64_t totalLockPacketsInjected() const;
+
+    /** Hand every router and NI the event tracer (null = off). */
+    void setTracer(Tracer *t);
+
+    /** Link fan-out for interval telemetry. */
+    unsigned numLinks() const
+    {
+        return static_cast<unsigned>(links_.size());
+    }
+    const Link &link(unsigned i) const { return *links_[i]; }
 
   private:
     MeshShape mesh_;

@@ -4,6 +4,7 @@
 #include <array>
 
 #include "common/log.hh"
+#include "common/trace.hh"
 #include "core/priority.hh"
 
 namespace ocor
@@ -29,6 +30,11 @@ void
 NetworkInterface::inject(const PacketPtr &pkt, Cycle now)
 {
     pkt->injectCycle = now;
+    if (trace_)
+        trace_->record(TraceCat::Noc, TraceEv::PktInject, now, id_,
+                       invalidThread, 0, pkt->id,
+                       static_cast<std::uint32_t>(pkt->type),
+                       pkt->dst);
     if (pkt->dst == id_) {
         // Local traffic never enters the mesh; model a minimal
         // loopback latency. It cannot fault, so it is never tracked.
@@ -86,6 +92,11 @@ NetworkInterface::checkRetransmits(Cycle now)
         o.pkt = copy;
         o.deadline = now + fault_->backoff(o.attempts);
         ++fault_->stats().retransmissions;
+        if (trace_)
+            trace_->record(TraceCat::Noc, TraceEv::Retransmit, now,
+                           id_, invalidThread, 0, copy->id,
+                           static_cast<std::uint32_t>(copy->type),
+                           o.attempts);
         injectQueue_.push_back({copy, now + 1});
         ++it;
     }
@@ -113,6 +124,11 @@ NetworkInterface::ejectIncoming(Cycle now)
         loopback_.pop_front();
         pkt->ejectCycle = now;
         ++stats_.packetsEjected;
+        if (trace_)
+            trace_->record(TraceCat::Noc, TraceEv::PktEject, now, id_,
+                           invalidThread, 0, pkt->id,
+                           static_cast<std::uint32_t>(pkt->type),
+                           pkt->src);
         if (deliver_)
             deliver_(pkt, now);
     }
@@ -152,6 +168,11 @@ NetworkInterface::deliverMeshPacket(const PacketPtr &pkt, bool corrupt,
         // retransmit it.
         if (corrupt || pkt->crc != packetCrc(*pkt)) {
             ++fault_->stats().crcRejects;
+            if (trace_)
+                trace_->record(
+                    TraceCat::Noc, TraceEv::CrcReject, now, id_,
+                    invalidThread, 0, pkt->id,
+                    static_cast<std::uint32_t>(pkt->type), pkt->src);
             return;
         }
         if (ack_)
@@ -176,6 +197,11 @@ NetworkInterface::deliverMeshPacket(const PacketPtr &pkt, bool corrupt,
     }
     pkt->ejectCycle = now;
     ++stats_.packetsEjected;
+    if (trace_)
+        trace_->record(TraceCat::Noc, TraceEv::PktEject, now, id_,
+                       invalidThread, 0, pkt->id,
+                       static_cast<std::uint32_t>(pkt->type),
+                       pkt->src);
     if (deliver_)
         deliver_(pkt, now);
 }

@@ -35,6 +35,8 @@
 namespace ocor
 {
 
+class Tracer;
+
 /** NI observability counters. */
 struct NiStats
 {
@@ -99,6 +101,9 @@ class NetworkInterface
 
     NodeId id() const { return id_; }
     const NiStats &stats() const { return stats_; }
+
+    /** Attach the event tracer (null = tracing off, zero overhead). */
+    void setTracer(Tracer *t) { trace_ = t; }
 
     /** Packets waiting for a VC (tests and backpressure checks). */
     std::size_t queueDepth() const { return injectQueue_.size(); }
@@ -165,6 +170,7 @@ class NetworkInterface
     std::set<std::uint64_t> deliveredSeqs_;
     std::deque<std::pair<Cycle, std::uint64_t>> deliveredAge_;
 
+    Tracer *trace_ = nullptr;
     NiStats stats_;
 };
 

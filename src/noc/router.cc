@@ -1,6 +1,7 @@
 #include "noc/router.hh"
 
 #include "common/log.hh"
+#include "common/trace.hh"
 #include "core/priority.hh"
 
 namespace ocor
@@ -127,6 +128,14 @@ Router::vcAllocation(Cycle now)
             outputs_[op].vcs[ovc].allocated = true;
             inputs_[idx / nvc].vcs[idx % nvc].outVc = ovc;
             ++stats_.vaGrants;
+            if (trace_) {
+                const auto &pkt =
+                    *inputs_[idx / nvc].vcs[idx % nvc].front().flit.pkt;
+                trace_->record(TraceCat::Noc, TraceEv::VcAlloc, now,
+                               id_, invalidThread, 0, pkt.id,
+                               static_cast<std::uint32_t>(pkt.type),
+                               op);
+            }
             continue;
         }
         // Grant free output VCs to requesters in rank order; the
@@ -152,6 +161,13 @@ Router::vcAllocation(Cycle now)
             outputs_[op].vcs[ovc].allocated = true;
             inputs_[wp].vcs[wv].outVc = ovc;
             ++stats_.vaGrants;
+            if (trace_) {
+                const auto &pkt = *inputs_[wp].vcs[wv].front().flit.pkt;
+                trace_->record(TraceCat::Noc, TraceEv::VcAlloc, now,
+                               id_, invalidThread, 0, pkt.id,
+                               static_cast<std::uint32_t>(pkt.type),
+                               op);
+            }
             --reqCount[op];
         }
     }
@@ -254,6 +270,12 @@ Router::switchAllocation(Cycle now)
         ++stats_.flitsRouted;
         if (isLockProtocol(out.pkt->type))
             ++stats_.lockFlitsRouted;
+        if (trace_ && out.isHead())
+            trace_->record(
+                TraceCat::Noc, TraceEv::SaGrant, now, id_,
+                invalidThread, 0, out.pkt->id,
+                static_cast<std::uint32_t>(out.pkt->type),
+                static_cast<std::uint32_t>(local[p].rank));
 
         if (out.isTail()) {
             ovc.allocated = false; // VC reusable by the next packet

@@ -38,6 +38,8 @@
 namespace ocor
 {
 
+class Tracer;
+
 /** Per-router observability counters. */
 struct RouterStats
 {
@@ -68,6 +70,9 @@ class Router
 
     NodeId id() const { return id_; }
     const RouterStats &stats() const { return stats_; }
+
+    /** Attach the event tracer (null = tracing off, zero overhead). */
+    void setTracer(Tracer *t) { trace_ = t; }
 
     /** Buffered flit count (for drain checks and tests). */
     unsigned occupancy() const;
@@ -111,6 +116,7 @@ class Router
     std::array<std::int64_t, maxVcs> saLocalRanks_{};
     std::array<std::int64_t, NumPorts> saGlobalRanks_{};
 
+    Tracer *trace_ = nullptr;
     RouterStats stats_;
 };
 

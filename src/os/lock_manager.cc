@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/trace.hh"
 
 namespace ocor
 {
@@ -62,6 +63,22 @@ LockManager::tick(Cycle now)
 }
 
 void
+LockManager::noteGrant(LockState &lock, Addr addr, ThreadId winner,
+                       Cycle now)
+{
+    if (lock.lastRelease == neverCycle)
+        return; // first-ever grant: no preceding release to measure
+    Cycle gap = now - lock.lastRelease;
+    lock.lastRelease = neverCycle; // one release -> one sample
+    stats_.handoverLatency.sample(static_cast<double>(gap));
+    stats_.handoverLatencyHist.sample(static_cast<double>(gap));
+    if (trace_)
+        trace_->record(TraceCat::Lock, TraceEv::LockHandover, now,
+                       node_, winner, addr, 0, 0,
+                       static_cast<std::uint32_t>(gap));
+}
+
+void
 LockManager::process(const PacketPtr &pkt, Cycle now)
 {
     LockState &lock = locks_[pkt->addr];
@@ -93,6 +110,7 @@ LockManager::process(const PacketPtr &pkt, Cycle now)
             lock.holder = pkt->thread;
             resp_type = MsgType::LockGrant;
             ++stats_.grants;
+            noteGrant(lock, pkt->addr, pkt->thread, now);
             drop_poller(pkt->thread);
             drop_waiter(pkt->thread);
         } else {
@@ -132,6 +150,7 @@ LockManager::process(const PacketPtr &pkt, Cycle now)
         ++stats_.releases;
         lock.held = false;
         lock.holder = invalidThread;
+        lock.lastRelease = now;
 
         // Invalidate every polling sharer's cached copy: the spinning
         // threads race fresh atomic requests back (Figure 4a, T4/T5).
@@ -168,6 +187,12 @@ LockManager::process(const PacketPtr &pkt, Cycle now)
                 wake->thread = pkt->thread;
                 wake->priority = pkt->priority;
                 send_(wake, now);
+                if (trace_)
+                    trace_->record(
+                        TraceCat::Lock, TraceEv::WakeupSent, now,
+                        node_, pkt->thread, pkt->addr, 0,
+                        static_cast<std::uint32_t>(
+                            lock.waitQueue.size()));
             }
             break;
         }
@@ -189,11 +214,18 @@ LockManager::process(const PacketPtr &pkt, Cycle now)
             ++stats_.immediateWakes;
             lock.held = true;
             lock.holder = pkt->thread;
+            noteGrant(lock, pkt->addr, pkt->thread, now);
             auto wake = makePacket(MsgType::WakeNotify, node_,
                                    pkt->src, pkt->addr);
             wake->thread = pkt->thread;
             wake->priority = pkt->priority;
             send_(wake, now);
+            if (trace_)
+                trace_->record(
+                    TraceCat::Lock, TraceEv::WakeupSent, now, node_,
+                    pkt->thread, pkt->addr, 0,
+                    static_cast<std::uint32_t>(
+                        lock.waitQueue.size()));
         } else {
             lock.waitQueue.emplace_back(pkt->thread, pkt->src);
         }
@@ -213,11 +245,18 @@ LockManager::process(const PacketPtr &pkt, Cycle now)
             ++stats_.wakes;
             lock.held = true;
             lock.holder = tid;
+            noteGrant(lock, pkt->addr, tid, now);
             auto wake = makePacket(MsgType::WakeNotify, node_, tnode,
                                    pkt->addr);
             wake->thread = tid;
             wake->priority = pkt->priority; // wakeup class (lowest)
             send_(wake, now);
+            if (trace_)
+                trace_->record(
+                    TraceCat::Lock, TraceEv::WakeupSent, now, node_,
+                    tid, pkt->addr, 0,
+                    static_cast<std::uint32_t>(
+                        lock.waitQueue.size()));
         }
         break;
 

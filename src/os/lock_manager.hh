@@ -18,12 +18,15 @@
 #include <vector>
 #include <map>
 
+#include "common/stats.hh"
 #include "common/types.hh"
 #include "noc/packet.hh"
 #include "os/params.hh"
 
 namespace ocor
 {
+
+class Tracer;
 
 /** Lock-manager observability counters. */
 struct LockMgrStats
@@ -42,6 +45,11 @@ struct LockMgrStats
     std::uint64_t strayReleases = 0;   ///< release of free/foreign lock
     std::uint64_t rewakes = 0;         ///< WakeNotify re-sent to holder
     std::uint64_t duplicateWaits = 0;  ///< FutexWait while already queued
+
+    /** Release -> next grant gap at this home (lock-handover
+     * latency, the quantity OCOR's priority rules compress). */
+    SampleStat handoverLatency;
+    Histogram handoverLatencyHist{4.0, 256};
 };
 
 /** Home-side state of the locks whose words live on this node. */
@@ -58,6 +66,9 @@ class LockManager
 
     bool idle() const { return delayed_.empty() && retries_.empty(); }
     const LockMgrStats &stats() const { return stats_; }
+
+    /** Attach the event tracer (null = tracing off, zero overhead). */
+    void setTracer(Tracer *t) { trace_ = t; }
 
     // --- oracle accessors (simulation-level accounting only) --------
     bool heldNow(Addr lock_word) const;
@@ -76,9 +87,17 @@ class LockManager
         /** Spinning threads polling a cached copy of the lock line:
          * they get a LockFreeNotify invalidation on release. */
         std::vector<std::pair<ThreadId, NodeId>> pollers;
+
+        /** Cycle of the latest unconsumed release; the next grant
+         * samples (grant - release) as the handover latency. */
+        Cycle lastRelease = neverCycle;
     };
 
     void process(const PacketPtr &pkt, Cycle now);
+
+    /** Handover bookkeeping at every grant decision. */
+    void noteGrant(LockState &lock, Addr addr, ThreadId winner,
+                   Cycle now);
 
     NodeId node_;
     OsParams params_;
@@ -88,6 +107,7 @@ class LockManager
     std::deque<std::pair<Cycle, PacketPtr>> delayed_;
     std::deque<std::pair<Cycle, PacketPtr>> retries_;
 
+    Tracer *trace_ = nullptr;
     LockMgrStats stats_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/trace.hh"
 #include "core/priority.hh"
 
 namespace ocor
@@ -39,6 +40,9 @@ QSpinlock::beginSleepPrep(Cycle now)
     pcb_.state = ThreadState::SleepPrep;
     timer_ = Timer::SleepPrep;
     timerAt_ = now + os_.sleepPrepCycles;
+    if (trace_)
+        trace_->record(TraceCat::Lock, TraceEv::LockSleep, now,
+                       pcb_.node, pcb_.tid, lock_);
 }
 
 unsigned
@@ -65,6 +69,10 @@ QSpinlock::acquire(Addr lock_word, Cycle now, AcquiredFn done)
     tryInFlight_ = false;
     done_ = std::move(done);
     pcb_.state = ThreadState::Spinning;
+    if (trace_)
+        trace_->record(TraceCat::Lock, TraceEv::LockAcquireStart, now,
+                       pcb_.node, pcb_.tid, lock_, 0,
+                       currentRtr(now));
     issueTry(now);
 }
 
@@ -83,6 +91,11 @@ QSpinlock::issueTry(Cycle now)
     pkt->thread = pcb_.tid;
     pkt->priority = makePriority(ocor_, PriorityClass::LockTry,
                                  pcb_.regRtr, pcb_.regProg);
+    if (trace_)
+        trace_->record(TraceCat::Lock, TraceEv::LockTrySent, now,
+                       pcb_.node, pcb_.tid, lock_, pkt->id,
+                       pcb_.regRtr,
+                       static_cast<std::uint32_t>(pcb_.regProg));
     send_(pkt, now);
 }
 
@@ -99,6 +112,10 @@ QSpinlock::enterCs(Cycle now)
         ++pcb_.counters.sleepWins;
     else
         ++pcb_.counters.spinWins;
+    if (trace_)
+        trace_->record(TraceCat::Lock, TraceEv::CsEnter, now,
+                       pcb_.node, pcb_.tid, lock_, 0,
+                       everSlept_ ? 1 : 0);
     if (done_) {
         auto fn = std::move(done_);
         done_ = nullptr;
@@ -143,6 +160,10 @@ QSpinlock::handle(const PacketPtr &pkt, Cycle now)
             break;
         }
         tryInFlight_ = false;
+        if (trace_)
+            trace_->record(TraceCat::Lock, TraceEv::LockFailRecv, now,
+                           pcb_.node, pcb_.tid, lock_, pkt->id,
+                           currentRtr(now));
         if (pcb_.state != ThreadState::Spinning)
             break; // already heading to sleep
         if (now >= sleepDeadline()) {
@@ -173,6 +194,10 @@ QSpinlock::handle(const PacketPtr &pkt, Cycle now)
         // The home node woke this thread *and* reserved the lock for
         // it (queue-spinlock: the woken waiter secures the lock).
         if (active_ && pkt->addr == lock_) {
+            if (trace_)
+                trace_->record(TraceCat::Lock, TraceEv::WakeupRecv,
+                               now, pcb_.node, pcb_.tid, lock_,
+                               pkt->id);
             if (pcb_.state == ThreadState::Sleeping) {
                 pcb_.state = ThreadState::Waking;
                 timer_ = Timer::Wakeup;
@@ -309,6 +334,9 @@ QSpinlock::release(Cycle now)
     if (!holding_)
         ocor_panic("QSpinlock t%u: release without hold", pcb_.tid);
     holding_ = false;
+    if (trace_)
+        trace_->record(TraceCat::Lock, TraceEv::CsExit, now,
+                       pcb_.node, pcb_.tid, lock_);
 
     // Algorithm 2: atomic_release, PROG++, then FUTEX_WAKE with the
     // lowest priority (Table 1 rule 4) after the syscall delay.

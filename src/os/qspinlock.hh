@@ -41,6 +41,8 @@
 namespace ocor
 {
 
+class Tracer;
+
 /** Per-thread queue-spinlock state machine. */
 class QSpinlock
 {
@@ -79,6 +81,9 @@ class QSpinlock
 
     /** Current RTR value (Algorithm 1 line 5). */
     unsigned currentRtr(Cycle now) const;
+
+    /** Attach the event tracer (null = tracing off, zero overhead). */
+    void setTracer(Tracer *t) { trace_ = t; }
 
   private:
     enum class Timer : std::uint8_t
@@ -124,6 +129,8 @@ class QSpinlock
     Cycle sleepingSince_ = neverCycle; ///< entered Sleeping state
     std::uint64_t recoveries_ = 0;
     std::uint64_t duplicatesAbsorbed_ = 0;
+
+    Tracer *trace_ = nullptr;
 };
 
 } // namespace ocor

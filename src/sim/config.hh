@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "core/ocor_config.hh"
 #include "mem/params.hh"
@@ -49,6 +50,9 @@ struct SystemConfig
 
     /** Base address of the lock-word region. */
     Addr lockRegionBase = 0x1000'0000;
+
+    /** Event tracing (off by default: categories == 0). */
+    TraceConfig trace;
 
     void validate() const;
 

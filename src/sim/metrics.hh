@@ -41,6 +41,16 @@ struct RunMetrics
     double avgLockPacketLatency = 0.0;
     double avgDataPacketLatency = 0.0;
 
+    // Latency distribution tails (0 when no samples were taken).
+    double p50PacketLatency = 0.0;
+    double p95PacketLatency = 0.0;
+    double p99PacketLatency = 0.0;
+
+    // Release -> next-grant gap at the lock homes (handover latency).
+    double p50LockHandover = 0.0;
+    double p95LockHandover = 0.0;
+    double p99LockHandover = 0.0;
+
     // Fault injection and recovery (all zero with faults disabled).
     std::uint64_t faultsInjected = 0;   ///< drops + corruptions + stalls
     std::uint64_t flitsDropped = 0;

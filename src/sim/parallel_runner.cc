@@ -1,5 +1,7 @@
 #include "sim/parallel_runner.hh"
 
+#include <chrono>
+
 #include "common/log.hh"
 
 namespace ocor
@@ -13,9 +15,74 @@ ParallelRunner::ParallelRunner(unsigned jobs, ResultCache *cache)
 RunMetrics
 ParallelRunner::runOne(const RunRequest &req)
 {
-    if (cache_)
-        return cache_->get(req.profile, req.exp, req.ocorEnabled);
-    return runOnce(req.profile, req.exp, req.ocorEnabled);
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    RunMetrics m = cache_
+        ? cache_->get(req.profile, req.exp, req.ocorEnabled)
+        : runOnce(req.profile, req.exp, req.ocorEnabled);
+    const double secs =
+        std::chrono::duration<double>(clock::now() - t0).count();
+    {
+        std::lock_guard<std::mutex> lk(statsMu_);
+        runSeconds_.sample(secs);
+        ++runsExecuted_;
+    }
+    return m;
+}
+
+SampleStat
+ParallelRunner::runSeconds() const
+{
+    std::lock_guard<std::mutex> lk(statsMu_);
+    return runSeconds_;
+}
+
+std::uint64_t
+ParallelRunner::runsExecuted() const
+{
+    std::lock_guard<std::mutex> lk(statsMu_);
+    return runsExecuted_;
+}
+
+double
+ParallelRunner::utilization(double elapsed_seconds) const
+{
+    if (elapsed_seconds <= 0.0 || pool_.size() == 0)
+        return 0.0;
+    const double busy =
+        static_cast<double>(pool_.totalBusyNs()) * 1e-9;
+    return busy / (elapsed_seconds * pool_.size());
+}
+
+void
+ParallelRunner::registerStats(StatsRegistry &reg,
+                              const std::string &prefix)
+{
+    reg.addScalarFn(prefix + ".pool.size", [this]() {
+        return static_cast<double>(pool_.size());
+    });
+    reg.addScalarFn(prefix + ".pool.tasks_executed", [this]() {
+        return static_cast<double>(pool_.tasksExecuted());
+    });
+    reg.addScalarFn(prefix + ".pool.busy_ns_total", [this]() {
+        return static_cast<double>(pool_.totalBusyNs());
+    });
+    for (unsigned w = 0; w < pool_.size(); ++w)
+        reg.addScalarFn(
+            prefix + ".pool.worker" + std::to_string(w) + ".busy_ns",
+            [this, w]() {
+                return static_cast<double>(pool_.busyNs(w));
+            });
+    reg.addScalarFn(prefix + ".runs", [this]() {
+        return static_cast<double>(runsExecuted());
+    });
+    reg.addScalarFn(prefix + ".run_seconds_mean", [this]() {
+        return runSeconds().mean();
+    });
+    reg.addScalarFn(prefix + ".run_seconds_max", [this]() {
+        SampleStat s = runSeconds();
+        return s.count() ? s.max() : 0.0;
+    });
 }
 
 std::vector<RunMetrics>

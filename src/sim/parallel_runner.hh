@@ -17,8 +17,12 @@
 #ifndef OCOR_SIM_PARALLEL_RUNNER_HH
 #define OCOR_SIM_PARALLEL_RUNNER_HH
 
+#include <mutex>
+#include <string>
 #include <vector>
 
+#include "common/stats.hh"
+#include "common/stats_registry.hh"
 #include "common/thread_pool.hh"
 #include "sim/result_cache.hh"
 
@@ -64,11 +68,36 @@ class ParallelRunner
 
     unsigned jobs() const { return pool_.size(); }
 
+    /** Wall-clock seconds per simulated run (thread-safe). */
+    SampleStat runSeconds() const;
+
+    /** Runs executed by this runner (cache hits included). */
+    std::uint64_t runsExecuted() const;
+
+    /** Pool busy time / (workers x elapsed) over the pool lifetime;
+     * needs @p elapsed_seconds measured by the caller. */
+    double utilization(double elapsed_seconds) const;
+
+    const ThreadPool &pool() const { return pool_; }
+
+    /**
+     * Register the runner's and its pool's counters under dotted
+     * names ("<prefix>.pool.worker0.busy_ns", "<prefix>.runs", ...).
+     * The registry stores pointers into this runner, so it must not
+     * outlive it.
+     */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix = "runner");
+
   private:
     RunMetrics runOne(const RunRequest &req);
 
     ThreadPool pool_;
     ResultCache *cache_;
+
+    mutable std::mutex statsMu_;
+    SampleStat runSeconds_;
+    std::uint64_t runsExecuted_ = 0;
 };
 
 /**

@@ -83,7 +83,10 @@ metricsToTsv(const RunMetrics &m)
        << '\t' << m.packetsInjected << '\t' << m.flitsInjected
        << '\t' << m.lockPacketsInjected << '\t'
        << m.avgPacketLatency << '\t' << m.avgLockPacketLatency
-       << '\t' << m.avgDataPacketLatency;
+       << '\t' << m.avgDataPacketLatency << '\t'
+       << m.p50PacketLatency << '\t' << m.p95PacketLatency << '\t'
+       << m.p99PacketLatency << '\t' << m.p50LockHandover << '\t'
+       << m.p95LockHandover << '\t' << m.p99LockHandover;
     return os.str();
 }
 
@@ -98,7 +101,12 @@ metricsFromTsv(std::istringstream &is)
              >> sum.spinWins >> sum.sleepWins >> sum.retries
              >> sum.sleeps >> m.packetsInjected >> m.flitsInjected
              >> m.lockPacketsInjected >> m.avgPacketLatency
-             >> m.avgLockPacketLatency >> m.avgDataPacketLatency))
+             >> m.avgLockPacketLatency >> m.avgDataPacketLatency
+             >> m.p50PacketLatency >> m.p95PacketLatency
+             >> m.p99PacketLatency >> m.p50LockHandover
+             >> m.p95LockHandover >> m.p99LockHandover))
+        // Lines from a pre-percentile cache file fail here and are
+        // simply treated as misses (the run is redone and re-stored).
         return std::nullopt;
     // Aggregates are stored as one synthetic per-thread entry; every
     // derived percentage works off sums and m.threads.

@@ -1,5 +1,6 @@
 #include "sim/simulator.hh"
 
+#include <chrono>
 #include <sstream>
 
 #include "common/log.hh"
@@ -22,6 +23,8 @@ Simulator::Simulator(const SystemConfig &cfg,
             : std::min(opts_.timelineThreads, system_->numThreads());
         timeline_ = Timeline(t, opts_.timelineHorizon);
     }
+    if (opts_.telemetryInterval > 0)
+        telemetry_ = TelemetryRecorder(opts_.telemetryInterval);
 }
 
 void
@@ -136,11 +139,38 @@ Simulator::diagnoseHang() const
 RunMetrics
 Simulator::run()
 {
+    using clock = std::chrono::steady_clock;
+    auto seconds_since = [](clock::time_point a, clock::time_point b) {
+        return std::chrono::duration<double>(b - a).count();
+    };
+    const auto run_start = clock::now();
+
+    Tracer *tr = system_->tracer();
+    if (tr)
+        tr->record(TraceCat::Sim, TraceEv::RunBegin, 0, invalidNode);
+
     Cycle last_progress_at = 0;
     std::uint64_t last_progress = 0;
     for (now_ = 0; now_ < cfg_.maxCycles; ++now_) {
-        system_->tick(now_);
-        accountCycle(now_);
+        if (opts_.profileWall) {
+            const auto t0 = clock::now();
+            system_->tick(now_);
+            const auto t1 = clock::now();
+            accountCycle(now_);
+            wall_.tickSeconds += seconds_since(t0, t1);
+            wall_.accountSeconds += seconds_since(t1, clock::now());
+        } else {
+            system_->tick(now_);
+            accountCycle(now_);
+        }
+        if (telemetry_.due(now_)) {
+            telemetry_.sample(now_, *system_);
+            if (tr)
+                tr->record(TraceCat::Sim, TraceEv::TelemetrySample,
+                           now_, invalidNode, invalidThread, 0, 0,
+                           static_cast<std::uint32_t>(
+                               telemetry_.points()));
+        }
         if (system_->allFinished())
             break;
         // Forward-progress watchdog, checked at a coarse stride so
@@ -153,6 +183,9 @@ Simulator::run()
             } else if (now_ - last_progress_at >= cfg_.progressWindow) {
                 hangDetected_ = true;
                 hangDiagnosis_ = diagnoseHang();
+                if (tr)
+                    tr->record(TraceCat::Sim, TraceEv::WatchdogFired,
+                               now_, invalidNode);
                 ocor_warn("no forward progress for %llu cycles at "
                           "cycle %llu; failing fast\n%s",
                           static_cast<unsigned long long>(
@@ -167,6 +200,12 @@ Simulator::run()
         ocor_warn("simulation hit maxCycles (%llu) before finishing",
                   static_cast<unsigned long long>(cfg_.maxCycles));
 
+    if (tr)
+        tr->record(TraceCat::Sim, TraceEv::RunEnd, now_, invalidNode,
+                   invalidThread, 0, 0, hangDetected_ ? 1 : 0);
+    wall_.cycles = now_;
+    wall_.totalSeconds = seconds_since(run_start, clock::now());
+
     RunMetrics m;
     m.roiFinish = now_;
     m.threads = system_->numThreads();
@@ -180,6 +219,20 @@ Simulator::run()
     m.avgPacketLatency = net.stats().packetLatency.mean();
     m.avgLockPacketLatency = net.stats().lockPacketLatency.mean();
     m.avgDataPacketLatency = net.stats().dataPacketLatency.mean();
+    m.p50PacketLatency = net.stats().packetLatencyHist.percentile(50);
+    m.p95PacketLatency = net.stats().packetLatencyHist.percentile(95);
+    m.p99PacketLatency = net.stats().packetLatencyHist.percentile(99);
+
+    // One handover distribution across all lock homes (usually only
+    // one home is hot, but merging keeps the metric shape-agnostic).
+    Histogram handover{4.0, 256};
+    const unsigned nodes = cfg_.mesh.numNodes();
+    for (NodeId n = 0; n < nodes; ++n)
+        handover.merge(
+            system_->lockManager(n).stats().handoverLatencyHist);
+    m.p50LockHandover = handover.percentile(50);
+    m.p95LockHandover = handover.percentile(95);
+    m.p99LockHandover = handover.percentile(99);
 
     if (const FaultInjector *fi = system_->faultInjector()) {
         const FaultStats &fs = fi->stats();

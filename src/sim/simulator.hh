@@ -15,6 +15,7 @@
 #include "sim/config.hh"
 #include "sim/metrics.hh"
 #include "sim/system.hh"
+#include "sim/telemetry.hh"
 
 namespace ocor
 {
@@ -73,6 +74,22 @@ struct SimOptions
     Cycle timelineHorizon = 0;
     /** ...of the first M threads (0 = all). */
     unsigned timelineThreads = 0;
+
+    /** Sample interval telemetry every N cycles (0 = off). */
+    Cycle telemetryInterval = 0;
+
+    /** Break run() wall time down by phase (tick vs accounting).
+     * Adds two clock reads per cycle, so it is opt-in. */
+    bool profileWall = false;
+};
+
+/** Host wall-clock cost of one run() (never enters sim results). */
+struct WallProfile
+{
+    double totalSeconds = 0.0;   ///< whole run(), always measured
+    double tickSeconds = 0.0;    ///< System::tick (profileWall only)
+    double accountSeconds = 0.0; ///< accounting (profileWall only)
+    std::uint64_t cycles = 0;    ///< cycles the loop executed
 };
 
 /** Drives one System instance through its region of interest. */
@@ -93,6 +110,8 @@ class Simulator
 
     System &system() { return *system_; }
     const Timeline &timeline() const { return timeline_; }
+    const TelemetryRecorder &telemetry() const { return telemetry_; }
+    const WallProfile &wallProfile() const { return wall_; }
 
     /** Current simulated cycle (valid after run()). */
     Cycle now() const { return now_; }
@@ -130,6 +149,8 @@ class Simulator
     std::unique_ptr<System> system_;
     Options opts_;
     Timeline timeline_;
+    TelemetryRecorder telemetry_{0};
+    WallProfile wall_;
     Cycle now_ = 0;
     bool hangDetected_ = false;
     std::string hangDiagnosis_;

@@ -59,6 +59,97 @@ System::System(const SystemConfig &cfg, std::vector<Program> programs,
     mcTick_.reserve(mcs_.size());
     for (auto &[node, mc] : mcs_)
         mcTick_.push_back(mc.get());
+
+    if (cfg_.trace.enabled()) {
+        tracer_ = std::make_unique<Tracer>(cfg_.trace);
+        network_->setTracer(tracer_.get());
+        for (auto &lm : lockMgrs_)
+            lm->setTracer(tracer_.get());
+        for (auto &qs : qspins_)
+            qs->setTracer(tracer_.get());
+    }
+}
+
+void
+System::registerStats(StatsRegistry &reg, const std::string &prefix)
+{
+    const NetworkStats &net = network_->stats();
+    reg.addScalar(prefix + ".net.packets_delivered",
+                  &net.packetsDelivered);
+    reg.addScalar(prefix + ".net.lock_packets_delivered",
+                  &net.lockPacketsDelivered);
+    reg.addSample(prefix + ".net.packet_latency", &net.packetLatency);
+    reg.addSample(prefix + ".net.lock_packet_latency",
+                  &net.lockPacketLatency);
+    reg.addSample(prefix + ".net.data_packet_latency",
+                  &net.dataPacketLatency);
+    reg.addHistogram(prefix + ".net.packet_latency_hist",
+                     &net.packetLatencyHist);
+    reg.addHistogram(prefix + ".net.lock_packet_latency_hist",
+                     &net.lockPacketLatencyHist);
+    reg.addScalarFn(prefix + ".net.flits_injected", [this]() {
+        return static_cast<double>(network_->totalFlitsInjected());
+    });
+
+    const unsigned nodes = cfg_.mesh.numNodes();
+    for (NodeId n = 0; n < nodes; ++n) {
+        const std::string r = prefix + ".router" + std::to_string(n);
+        const RouterStats &rs = network_->router(n).stats();
+        reg.addScalar(r + ".flits_routed", &rs.flitsRouted);
+        reg.addScalar(r + ".lock_flits_routed", &rs.lockFlitsRouted);
+        reg.addScalar(r + ".va_grants", &rs.vaGrants);
+        reg.addScalar(r + ".sa_grants", &rs.saGrants);
+        reg.addScalar(r + ".sa_conflict_losses",
+                      &rs.saConflictLosses);
+
+        const std::string i = prefix + ".ni" + std::to_string(n);
+        const NiStats &ns = network_->ni(n).stats();
+        reg.addScalar(i + ".packets_injected", &ns.packetsInjected);
+        reg.addScalar(i + ".flits_injected", &ns.flitsInjected);
+        reg.addScalar(i + ".packets_ejected", &ns.packetsEjected);
+        reg.addScalar(i + ".lock_packets_injected",
+                      &ns.lockPacketsInjected);
+        reg.addScalar(i + ".inject_queue_peak", &ns.injectQueuePeak);
+
+        const std::string m = prefix + ".lockmgr" + std::to_string(n);
+        const LockMgrStats &ms = lockMgrs_[n]->stats();
+        reg.addScalar(m + ".tries", &ms.tries);
+        reg.addScalar(m + ".grants", &ms.grants);
+        reg.addScalar(m + ".fails", &ms.fails);
+        reg.addScalar(m + ".releases", &ms.releases);
+        reg.addScalar(m + ".futex_waits", &ms.futexWaits);
+        reg.addScalar(m + ".immediate_wakes", &ms.immediateWakes);
+        reg.addScalar(m + ".wakes", &ms.wakes);
+        reg.addScalar(m + ".notifies", &ms.notifies);
+        reg.addSample(m + ".handover_latency", &ms.handoverLatency);
+        reg.addHistogram(m + ".handover_latency_hist",
+                         &ms.handoverLatencyHist);
+    }
+
+    for (ThreadId t = 0; t < cfg_.numThreads; ++t) {
+        const std::string p = prefix + ".thread" + std::to_string(t);
+        const ThreadCounters &tc = pcbs_[t]->counters;
+        reg.addScalar(p + ".compute_cycles", &tc.computeCycles);
+        reg.addScalar(p + ".cs_cycles", &tc.csCycles);
+        reg.addScalar(p + ".blocked_held_cycles",
+                      &tc.blockedHeldCycles);
+        reg.addScalar(p + ".blocked_idle_cycles",
+                      &tc.blockedIdleCycles);
+        reg.addScalar(p + ".acquisitions", &tc.acquisitions);
+        reg.addScalar(p + ".spin_wins", &tc.spinWins);
+        reg.addScalar(p + ".sleep_wins", &tc.sleepWins);
+        reg.addScalar(p + ".retries", &tc.retries);
+        reg.addScalar(p + ".sleeps", &tc.sleeps);
+    }
+
+    if (tracer_) {
+        reg.addScalarFn(prefix + ".trace.emitted", [this]() {
+            return static_cast<double>(tracer_->emitted());
+        });
+        reg.addScalarFn(prefix + ".trace.dropped", [this]() {
+            return static_cast<double>(tracer_->dropped());
+        });
+    }
 }
 
 void

@@ -10,8 +10,11 @@
 
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/stats_registry.hh"
+#include "common/trace.hh"
 #include "cpu/core.hh"
 #include "mem/address_map.hh"
 #include "mem/l1_cache.hh"
@@ -55,6 +58,18 @@ class System
     /** Fault oracle; null when cfg.fault has every rate at zero. */
     FaultInjector *faultInjector() { return fault_.get(); }
 
+    /** Event tracer; null when cfg.trace is off. */
+    Tracer *tracer() { return tracer_.get(); }
+
+    /**
+     * Register every component's live counters under dotted names
+     * ("<prefix>.router3.sa_grants", "<prefix>.lockmgr0.grants",
+     * ...). The registry stores pointers into this System, so it must
+     * not outlive it.
+     */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix = "system");
+
     /** OS-layer watchdog recoveries (lost lock messages re-issued). */
     std::uint64_t watchdogRecoveries() const;
     const AddressMap &addressMap() const { return amap_; }
@@ -90,6 +105,7 @@ class System
     SystemConfig cfg_;
     AddressMap amap_;
     std::unique_ptr<FaultInjector> fault_; ///< before network_
+    std::unique_ptr<Tracer> tracer_;       ///< null when tracing off
     std::unique_ptr<Network> network_;
 
     std::vector<std::unique_ptr<Pcb>> pcbs_;

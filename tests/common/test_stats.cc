@@ -75,15 +75,16 @@ TEST(SampleStat, Reset)
 
 TEST(Histogram, BucketsFill)
 {
-    Histogram h(10.0, 4); // [0,10) [10,20) [20,30) [30,inf)
+    Histogram h(10.0, 4); // [0,10) [10,20) [20,30) [30,40) +overflow
     h.sample(5.0);
     h.sample(15.0);
     h.sample(15.5);
-    h.sample(100.0); // clamps to last bucket
+    h.sample(100.0); // beyond the covered range: overflow bucket
     EXPECT_EQ(h.buckets()[0], 1u);
     EXPECT_EQ(h.buckets()[1], 2u);
     EXPECT_EQ(h.buckets()[2], 0u);
-    EXPECT_EQ(h.buckets()[3], 1u);
+    EXPECT_EQ(h.buckets()[3], 0u);
+    EXPECT_EQ(h.overflow(), 1u);
     EXPECT_EQ(h.stat().count(), 4u);
 }
 
@@ -92,6 +93,75 @@ TEST(Histogram, NegativeClampsToFirst)
     Histogram h(1.0, 4);
     h.sample(-3.0);
     EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, BoundaryGoesToOverflow)
+{
+    Histogram h(10.0, 2); // covers [0,20); 20.0 is out of range
+    h.sample(20.0);
+    EXPECT_EQ(h.buckets()[0], 0u);
+    EXPECT_EQ(h.buckets()[1], 0u);
+    EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, PercentileEmptyIsZero)
+{
+    Histogram h(1.0, 8);
+    EXPECT_EQ(h.percentile(50.0), 0.0);
+}
+
+TEST(Histogram, PercentileOrderingAndBounds)
+{
+    Histogram h(1.0, 128);
+    for (int i = 1; i <= 100; ++i)
+        h.sample(static_cast<double>(i));
+    double p50 = h.percentile(50.0);
+    double p95 = h.percentile(95.0);
+    double p99 = h.percentile(99.0);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    // Bucketed estimates stay within the observed range and land
+    // near the exact order statistics.
+    EXPECT_GE(p50, h.stat().min());
+    EXPECT_LE(p99, h.stat().max());
+    EXPECT_NEAR(p50, 50.0, 2.0);
+    EXPECT_NEAR(p99, 99.0, 2.0);
+    // Extremes clamp to the observed min / max.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), h.stat().min());
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), h.stat().max());
+}
+
+TEST(Histogram, PercentileOverflowRegionReportsMax)
+{
+    Histogram h(1.0, 4); // covers [0,4)
+    h.sample(1.0);
+    h.sample(500.0); // overflow
+    // The upper half of the mass lives in the overflow region, whose
+    // only honest point estimate is the observed max.
+    EXPECT_DOUBLE_EQ(h.percentile(99.0), 500.0);
+}
+
+TEST(Histogram, MergeAddsCounts)
+{
+    Histogram a(10.0, 4), b(10.0, 4);
+    a.sample(5.0);
+    b.sample(5.0);
+    b.sample(15.0);
+    b.sample(999.0);
+    a.merge(b);
+    EXPECT_EQ(a.buckets()[0], 2u);
+    EXPECT_EQ(a.buckets()[1], 1u);
+    EXPECT_EQ(a.overflow(), 1u);
+    EXPECT_EQ(a.stat().count(), 4u);
+    EXPECT_DOUBLE_EQ(a.stat().max(), 999.0);
+}
+
+TEST(HistogramDeath, MergeShapeMismatchPanics)
+{
+    Histogram a(10.0, 4), b(5.0, 4), c(10.0, 8);
+    EXPECT_DEATH(a.merge(b), "merge");
+    EXPECT_DEATH(a.merge(c), "merge");
 }
 
 TEST(Helpers, Pct)

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for the hierarchical stats registry: registration,
+ * name ordering, the scalar test hook and the JSON dump.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats_registry.hh"
+
+using namespace ocor;
+
+TEST(StatsRegistry, NamesComeBackSorted)
+{
+    std::uint64_t a = 1, b = 2, c = 3;
+    StatsRegistry reg;
+    reg.addScalar("system.router1.flits", &b);
+    reg.addScalar("system.net.packets", &a);
+    reg.addScalar("system.router10.flits", &c);
+    std::vector<std::string> names = reg.names();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "system.net.packets");
+    // Lexicographic, not numeric: router10 sorts before router1x.
+    EXPECT_EQ(names[1], "system.router1.flits");
+    EXPECT_EQ(names[2], "system.router10.flits");
+    EXPECT_TRUE(reg.has("system.net.packets"));
+    EXPECT_FALSE(reg.has("system.net.nope"));
+    EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(StatsRegistry, ScalarReadsLiveValues)
+{
+    std::uint64_t counter = 5;
+    double knob = 1.5;
+    StatsRegistry reg;
+    reg.addScalar("c", &counter);
+    reg.addScalarFn("f", [&knob] { return knob * 2; });
+    EXPECT_EQ(reg.scalar("c"), 5.0);
+    EXPECT_EQ(reg.scalar("f"), 3.0);
+    // The registry holds pointers: later mutation is visible.
+    counter = 9;
+    knob = 2.0;
+    EXPECT_EQ(reg.scalar("c"), 9.0);
+    EXPECT_EQ(reg.scalar("f"), 4.0);
+}
+
+TEST(StatsRegistryDeath, DuplicateAndEmptyNamesPanic)
+{
+    std::uint64_t v = 0;
+    StatsRegistry reg;
+    reg.addScalar("x", &v);
+    EXPECT_DEATH(reg.addScalar("x", &v), "x");
+    EXPECT_DEATH(reg.addScalar("", &v), "empty");
+}
+
+TEST(StatsRegistryDeath, ScalarOnUnknownNamePanics)
+{
+    StatsRegistry reg;
+    EXPECT_DEATH((void)reg.scalar("missing"), "missing");
+}
+
+TEST(StatsRegistry, JsonDumpCoversEveryKind)
+{
+    std::uint64_t counter = 7;
+    SampleStat sample;
+    sample.sample(2.0);
+    sample.sample(4.0);
+    Histogram hist(1.0, 4);
+    hist.sample(0.5);
+    hist.sample(100.0); // overflow
+
+    StatsRegistry reg;
+    reg.addScalar("a.counter", &counter);
+    reg.addScalarFn("b.fn", [] { return 0.5; });
+    reg.addSample("c.sample", &sample);
+    reg.addHistogram("d.hist", &hist);
+
+    std::ostringstream os;
+    reg.dumpJson(os);
+    std::string s = os.str();
+    EXPECT_EQ(s.front(), '{');
+    EXPECT_NE(s.find("\"a.counter\": 7"), std::string::npos);
+    EXPECT_NE(s.find("\"b.fn\": 0.5"), std::string::npos);
+    EXPECT_NE(s.find("\"c.sample\": {"), std::string::npos);
+    EXPECT_NE(s.find("\"mean\":3"), std::string::npos);
+    EXPECT_NE(s.find("\"p50\":"), std::string::npos);
+    EXPECT_NE(s.find("\"p95\":"), std::string::npos);
+    EXPECT_NE(s.find("\"p99\":"), std::string::npos);
+    EXPECT_NE(s.find("\"overflow\":1"), std::string::npos);
+    EXPECT_NE(s.find("\"buckets\":["), std::string::npos);
+
+    // Dumps are deterministic: same registry, same bytes.
+    std::ostringstream again;
+    reg.dumpJson(again);
+    EXPECT_EQ(s, again.str());
+}

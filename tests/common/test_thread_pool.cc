@@ -74,6 +74,33 @@ TEST(ThreadPool, ExceptionsTravelThroughFuture)
     EXPECT_EQ(pool.run([] { return 7; }).get(), 7);
 }
 
+TEST(ThreadPool, BusyTimeAndTaskCountsAccumulate)
+{
+    ThreadPool pool(2);
+    EXPECT_EQ(pool.tasksExecuted(), 0u);
+    EXPECT_EQ(pool.totalBusyNs(), 0u);
+
+    std::vector<std::future<int>> futs;
+    for (int i = 0; i < 16; ++i)
+        futs.push_back(pool.run([] {
+            // Enough work for steady_clock to register nonzero time.
+            volatile int x = 0;
+            for (int k = 0; k < 200000; ++k)
+                x += k;
+            return static_cast<int>(x);
+        }));
+    for (auto &f : futs)
+        f.get();
+
+    EXPECT_EQ(pool.tasksExecuted(), 16u);
+    EXPECT_GT(pool.totalBusyNs(), 0u);
+    // The total is exactly the sum of the per-worker counters.
+    std::uint64_t sum = 0;
+    for (unsigned w = 0; w < pool.size(); ++w)
+        sum += pool.busyNs(w);
+    EXPECT_EQ(sum, pool.totalBusyNs());
+}
+
 TEST(ThreadPool, DefaultConcurrencyHonorsEnv)
 {
     ::setenv("OCOR_JOBS", "3", 1);

@@ -66,6 +66,12 @@ expectIdentical(const RunMetrics &a, const RunMetrics &b,
     EXPECT_EQ(a.avgPacketLatency, b.avgPacketLatency);
     EXPECT_EQ(a.avgLockPacketLatency, b.avgLockPacketLatency);
     EXPECT_EQ(a.avgDataPacketLatency, b.avgDataPacketLatency);
+    EXPECT_EQ(a.p50PacketLatency, b.p50PacketLatency);
+    EXPECT_EQ(a.p95PacketLatency, b.p95PacketLatency);
+    EXPECT_EQ(a.p99PacketLatency, b.p99PacketLatency);
+    EXPECT_EQ(a.p50LockHandover, b.p50LockHandover);
+    EXPECT_EQ(a.p95LockHandover, b.p95LockHandover);
+    EXPECT_EQ(a.p99LockHandover, b.p99LockHandover);
     EXPECT_EQ(a.hangDetected, b.hangDetected);
 }
 
@@ -114,6 +120,38 @@ TEST(ParallelRunner, ResultsComeBackInRequestOrder)
         expectIdentical(out[i], ref,
                         "request " + std::to_string(i));
     }
+}
+
+TEST(ParallelRunner, RunTimingAndPoolStatsAccumulate)
+{
+    ParallelRunner runner(2);
+    std::vector<BenchmarkProfile> profiles = tinyProfiles();
+    runner.runSuite(profiles, tinyExp(3));
+
+    // 3 profiles x {base, ocor} = 6 timed runs.
+    EXPECT_EQ(runner.runsExecuted(), 6u);
+    SampleStat rs = runner.runSeconds();
+    EXPECT_EQ(rs.count(), 6u);
+    EXPECT_GT(rs.max(), 0.0);
+    EXPECT_GE(runner.pool().tasksExecuted(), 6u);
+    EXPECT_GT(runner.pool().totalBusyNs(), 0u);
+    // Utilization is a fraction of jobs x wall; with a generous wall
+    // estimate it must land in (0, 1].
+    double util = runner.utilization(rs.sum());
+    EXPECT_GT(util, 0.0);
+    EXPECT_LE(util, 1.0 + 1e-9);
+
+    StatsRegistry reg;
+    runner.registerStats(reg);
+    EXPECT_TRUE(reg.has("runner.pool.size"));
+    EXPECT_TRUE(reg.has("runner.pool.worker0.busy_ns"));
+    EXPECT_TRUE(reg.has("runner.pool.worker1.busy_ns"));
+    EXPECT_EQ(reg.scalar("runner.pool.size"), 2.0);
+    EXPECT_EQ(reg.scalar("runner.runs"), 6.0);
+    // Per-worker busy time sums to the pool total.
+    EXPECT_DOUBLE_EQ(reg.scalar("runner.pool.worker0.busy_ns")
+                         + reg.scalar("runner.pool.worker1.busy_ns"),
+                     reg.scalar("runner.pool.busy_ns_total"));
 }
 
 TEST(ParallelRunner, SharedCacheDeduplicatesAcrossRequests)

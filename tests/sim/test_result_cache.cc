@@ -57,6 +57,12 @@ class ResultCacheTest : public ::testing::Test
         m.avgPacketLatency = 31.5;
         m.avgLockPacketLatency = 20.25;
         m.avgDataPacketLatency = 40.75;
+        m.p50PacketLatency = 28.0;
+        m.p95PacketLatency = 55.5;
+        m.p99PacketLatency = 80.125;
+        m.p50LockHandover = 140.0;
+        m.p95LockHandover = 300.0;
+        m.p99LockHandover = 444.5;
         return m;
     }
 
@@ -98,9 +104,40 @@ TEST_F(ResultCacheTest, StoreThenLookupRoundTrips)
     EXPECT_EQ(hit->packetsInjected, m.packetsInjected);
     EXPECT_DOUBLE_EQ(hit->avgLockPacketLatency,
                      m.avgLockPacketLatency);
+    EXPECT_DOUBLE_EQ(hit->p50PacketLatency, m.p50PacketLatency);
+    EXPECT_DOUBLE_EQ(hit->p95PacketLatency, m.p95PacketLatency);
+    EXPECT_DOUBLE_EQ(hit->p99PacketLatency, m.p99PacketLatency);
+    EXPECT_DOUBLE_EQ(hit->p50LockHandover, m.p50LockHandover);
+    EXPECT_DOUBLE_EQ(hit->p95LockHandover, m.p95LockHandover);
+    EXPECT_DOUBLE_EQ(hit->p99LockHandover, m.p99LockHandover);
     // Derived percentages survive the round trip.
     EXPECT_NEAR(hit->cohPct(), m.cohPct(), 1e-9);
     EXPECT_NEAR(hit->spinWinPct(), m.spinWinPct(), 1e-9);
+}
+
+TEST_F(ResultCacheTest, PrePercentileSchemaLinesAreMisses)
+{
+    // Grow the on-disk schema, don't break on old files: a cache line
+    // written before the percentile columns existed fails to parse
+    // and is treated as a miss (the run is redone, not corrupted).
+    {
+        ResultCache cache(path_);
+        cache.store(sampleKey(), sampleMetrics());
+        cache.flush();
+    }
+    // Strip the last 6 columns to fake the old schema.
+    std::ifstream in(path_);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    in.close();
+    for (int i = 0; i < 6; ++i)
+        line.erase(line.find_last_of('\t'));
+    std::ofstream out(path_, std::ios::trunc);
+    out << line << '\n';
+    out.close();
+
+    ResultCache reopened(path_);
+    EXPECT_FALSE(reopened.lookup(sampleKey()).has_value());
 }
 
 TEST_F(ResultCacheTest, KeysAreDiscriminating)
