@@ -23,6 +23,12 @@
  *   --telemetry-interval N  sample interval telemetry every N cycles
  *   --telemetry-out FILE    telemetry CSV (default telemetry.csv)
  *   --pool-util             report worker-pool utilization
+ *
+ * Correctness flags (see DESIGN.md §11):
+ *   --check[=LIST]          enable the runtime invariant checkers
+ *                           "mutex", "vc-fifo", "onehot",
+ *                           "arbitration", "credit", "rtr", "wakeup"
+ *                           (comma-separated; bare --check means all)
  */
 
 #ifndef OCOR_BENCH_BENCH_UTIL_HH
@@ -34,6 +40,7 @@
 #include <fstream>
 #include <string>
 
+#include "check/check_config.hh"
 #include "common/trace.hh"
 #include "sim/parallel_runner.hh"
 #include "sim/result_cache.hh"
@@ -58,7 +65,19 @@ struct Options
     std::string telemetryOut = "telemetry.csv";
     bool poolUtil = false;
 
+    /** --check selection ("" = the build's default mask). */
+    std::string checkList;
+
     bool tracing() const { return !traceCats.empty(); }
+    bool checking() const { return !checkList.empty(); }
+
+    /** The --check mask for a directly built SystemConfig. */
+    unsigned
+    checkMask() const
+    {
+        return checking() ? parseCheckList(checkList)
+                          : defaultCheckMask();
+    }
 
     ExperimentConfig
     experiment() const
@@ -67,6 +86,7 @@ struct Options
         exp.threads = threads;
         exp.iterationsOverride = iterations;
         exp.seed = seed;
+        exp.check.checks = checkMask();
         return exp;
     }
 };
@@ -131,6 +151,10 @@ parseOptions(int argc, char **argv)
             opt.telemetryOut = v;
         else if (a == "--pool-util")
             opt.poolUtil = true;
+        else if (a == "--check")
+            opt.checkList = "all"; // bare form: every checker
+        else if (valueOf("--check", v))
+            opt.checkList = v;
         else {
             std::fprintf(stderr,
                          "unknown flag %s\n"
@@ -139,7 +163,8 @@ parseOptions(int argc, char **argv)
                          "[--jobs N] [--trace[=CATS]] "
                          "[--trace-out FILE] [--stats-json FILE] "
                          "[--telemetry-interval N] "
-                         "[--telemetry-out FILE] [--pool-util]\n",
+                         "[--telemetry-out FILE] [--pool-util] "
+                         "[--check[=LIST]]\n",
                          a.c_str(), argv[0]);
             std::exit(1);
         }

@@ -47,6 +47,7 @@ computeRun(const BenchmarkProfile &profile, const Options &opt,
     cfg.numThreads = opt.threads;
     cfg.seed = opt.seed;
     cfg.ocor.enabled = ocor_on;
+    cfg.check.checks = opt.checkMask();
     if (observe && opt.tracing())
         cfg.trace.categories = parseTraceCats(opt.traceCats);
 

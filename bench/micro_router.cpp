@@ -101,14 +101,15 @@ BM_RouterTickLoaded(benchmark::State &state)
     for (auto _ : state) {
         // Keep both input ports fed with competing lock packets.
         for (Link *link : {&in_w, &in_l}) {
+            const unsigned seq = i++;
             auto pkt = makePacket(MsgType::LockTry, 0, 1, 0x80);
             pkt->priority = makePriority(
                 stamping, PriorityClass::LockTry,
-                1 + (i++ % 128), i % 16);
+                1 + (seq % 128), seq % 16);
             Flit f;
             f.pkt = pkt;
             f.type = FlitType::HeadTail;
-            f.vc = i % params.numVcs;
+            f.vc = seq % params.numVcs;
             // Respect buffer space: drop when the VC is full.
             if (router.vc(link == &in_w ? PortWest : PortLocal,
                           f.vc).fifo.size() < params.vcDepth)

@@ -60,6 +60,20 @@ def check_stats(path):
              f"{hist['p50']}/{hist['p95']}/{hist['p99']}")
     if hist["count"] <= 0:
         fail(f"{path}: packet-latency histogram is empty")
+    # The trace ring silently overwrites its oldest events once full;
+    # an artifact produced from a saturated ring is incomplete, so CI
+    # must size the ring up (trace.capacity) rather than ship it.
+    dropped = stats.get("system.trace.dropped", 0)
+    if dropped > 0:
+        fail(f"{path}: trace ring dropped {int(dropped)} events; "
+             "the exported trace is incomplete (raise the ring "
+             "capacity or narrow the traced categories)")
+    # A checked run that recorded violations must never pass CI even
+    # if a custom handler kept it alive to the export.
+    violations = stats.get("system.check.violations", 0)
+    if violations > 0:
+        fail(f"{path}: {int(violations)} invariant-checker "
+             "violations recorded")
     print(f"{path}: OK ({len(stats)} entries)")
 
 

@@ -1,0 +1,304 @@
+#!/usr/bin/env python3
+"""Determinism and robustness lint for the OCOR simulator sources.
+
+Usage: simlint.py [--list-rules] DIR_OR_FILE...
+
+The simulator must be bit-reproducible: two runs with the same
+configuration and seed produce identical metrics, traces and stats
+(ROADMAP tier-1 property, enforced by the determinism tests). The
+classic ways C++ code silently breaks that are iterating an unordered
+container into simulation-visible state, consuming ambient entropy
+(wall clock, rand(), random_device), and ordering on raw pointer
+values, all of which vary run to run. This linter flags those
+patterns, plus uninitialized scalar fields in the POD-style structs
+(packets, flits, configs) whose value-initialization the simulator
+relies on.
+
+Rules (suppress one occurrence with a `simlint: allow(<rule>)`
+comment on the same or the preceding line):
+
+  unordered-iteration   range-for or .begin() iteration over a
+                        container declared std::unordered_* in the
+                        same file. Hash-table order is
+                        implementation- and run-dependent; iterate a
+                        sorted mirror (std::map/std::set) or sort the
+                        results instead.
+  ambient-entropy       rand()/srand()/random_device/time()/
+                        gettimeofday/clock()/system_clock/
+                        high_resolution_clock. Simulation randomness
+                        must come from the seeded common/rng.hh
+                        stream. (steady_clock is tolerated: it is the
+                        documented convention for host wall-time
+                        profiling, which never feeds sim state.)
+  pointer-keyed-order   std::map/std::set keyed by a raw pointer
+                        type. Heap addresses differ across runs, so
+                        any iteration order leaks nondeterminism.
+  missing-field-init    scalar field without a default initializer in
+                        a struct named *Packet/*Flit/*Config/
+                        *Params/*Fields/*Shape. These structs are
+                        created ad hoc all over the codebase; a field
+                        someone forgets to set must read 0, not
+                        stack garbage.
+
+When the libclang python bindings are importable the
+unordered-iteration and missing-field-init rules run on the AST
+(fewer false negatives: typedefs and autos resolve); otherwise the
+regex engine below is authoritative. The container image for this
+repo has no libclang, so the regex path is the one CI exercises.
+
+Exit status: 0 when clean, 1 when any finding is reported, 2 on
+usage errors.
+"""
+
+import os
+import re
+import sys
+
+CXX_EXT = (".hh", ".cc", ".cpp", ".hpp", ".cxx")
+
+RULES = {
+    "unordered-iteration":
+        "iteration over an unordered container (hash order is not "
+        "deterministic)",
+    "ambient-entropy":
+        "ambient entropy source; use the seeded common/rng.hh stream",
+    "pointer-keyed-order":
+        "ordered container keyed by a raw pointer (address order "
+        "varies per run)",
+    "missing-field-init":
+        "scalar struct field without a default initializer",
+}
+
+ALLOW_RE = re.compile(r"simlint:\s*allow\(([a-z-]+)\)")
+
+# --- regex engine ----------------------------------------------------
+
+# `std::unordered_map<...> name` / `std::unordered_set<...> name_;`
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:multi)?(?:map|set)\s*<")
+DECL_NAME_RE = re.compile(r">\s*\n?\s*(\w+)\s*[;={]")
+
+ENTROPY_RE = re.compile(
+    r"\b(?:s?rand\s*\(|std::random_device|gettimeofday\s*\(|"
+    r"\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)|clock\s*\(\s*\)|"
+    r"std::chrono::(?:system_clock|high_resolution_clock))")
+
+POINTER_KEY_RE = re.compile(
+    r"\bstd::(?:map|set|multimap|multiset)\s*<[^,>]*\*")
+
+STRUCT_RE = re.compile(
+    r"^\s*struct\s+(\w*(?:Packet|Flit|Config|Params|Fields|Shape))"
+    r"\s*(?::[^{]*)?(\{?)\s*$")
+
+# Scalar types whose fields must carry `= ...` or `{...}`.
+SCALAR_TYPE = (
+    r"(?:bool|char|short|int|long|unsigned|float|double|"
+    r"std::u?int(?:8|16|32|64)_t|std::size_t|std::ptrdiff_t|"
+    r"Cycle|Addr|NodeId|ThreadId|OneHot|MsgType|size_t)")
+FIELD_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:const\s+)?"
+    r"(?:unsigned\s+|signed\s+|long\s+|short\s+)*"
+    rf"{SCALAR_TYPE}(?:\s+|\s*\*\s*)(\w+)\s*;\s*(?://.*|/\*.*)?$")
+
+
+def allowed(lines, idx, rule):
+    """A `simlint: allow(rule)` on this or the preceding line."""
+    for i in (idx, idx - 1):
+        if i < 0:
+            continue
+        m = ALLOW_RE.search(lines[i])
+        if m and m.group(1) == rule:
+            return True
+    return False
+
+
+def unordered_names(text):
+    """Names declared as unordered containers in this file."""
+    names = set()
+    for m in UNORDERED_DECL_RE.finditer(text):
+        # Scan forward past the (possibly nested) template argument
+        # list to the declared name.
+        depth, i = 0, m.end() - 1
+        while i < len(text):
+            if text[i] == "<":
+                depth += 1
+            elif text[i] == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        tail = text[i:i + 120]
+        dm = re.match(r">\s*(\w+)\s*[;={]", tail)
+        if dm:
+            names.add(dm.group(1))
+    return names
+
+
+def lint_file(path, report):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    lines = text.splitlines()
+    hot = unordered_names(text)
+
+    iter_res = []
+    for name in hot:
+        iter_res.append(re.compile(
+            rf"for\s*\([^;)]*:\s*&?\s*{re.escape(name)}\s*\)"))
+        iter_res.append(re.compile(rf"\b{re.escape(name)}\.begin\s*\("))
+
+    struct_depth = None  # brace depth inside a matched struct
+    pending_struct = None
+
+    for idx, line in enumerate(lines):
+        lineno = idx + 1
+        stripped = line.strip()
+        if stripped.startswith("//") or stripped.startswith("*"):
+            continue
+
+        for rx in iter_res:
+            if rx.search(line) and not allowed(
+                    lines, idx, "unordered-iteration"):
+                report(path, lineno, "unordered-iteration", stripped)
+
+        if ENTROPY_RE.search(line) and not allowed(
+                lines, idx, "ambient-entropy"):
+            report(path, lineno, "ambient-entropy", stripped)
+
+        if POINTER_KEY_RE.search(line) and not allowed(
+                lines, idx, "pointer-keyed-order"):
+            report(path, lineno, "pointer-keyed-order", stripped)
+
+        # --- struct field tracking ---------------------------------
+        sm = STRUCT_RE.match(line)
+        if sm and struct_depth is None:
+            if sm.group(2) == "{":
+                struct_depth = 1
+            else:
+                pending_struct = True
+            continue
+        if pending_struct:
+            if "{" in line:
+                struct_depth, pending_struct = 1, None
+            elif stripped and not stripped.startswith(":"):
+                pending_struct = None  # forward declaration etc.
+            continue
+        if struct_depth is not None:
+            struct_depth += line.count("{") - line.count("}")
+            if struct_depth <= 0:
+                struct_depth = None
+                continue
+            if struct_depth == 1:
+                fm = FIELD_RE.match(line)
+                if fm and not allowed(
+                        lines, idx, "missing-field-init"):
+                    report(path, lineno, "missing-field-init",
+                           stripped)
+
+
+# --- optional libclang engine ---------------------------------------
+
+def try_libclang(paths):
+    """AST versions of two rules when python-clang is installed.
+
+    Returns None when the bindings are unavailable (the common case
+    in this repo's container); callers then rely on the regex engine
+    alone. Findings are (path, line, rule, excerpt) tuples.
+    """
+    try:
+        from clang import cindex  # noqa: F401
+    except ImportError:
+        return None
+
+    from clang.cindex import CursorKind, Index
+
+    findings = []
+    index = Index.create()
+    for path in paths:
+        if not path.endswith((".cc", ".cpp", ".cxx")):
+            continue
+        tu = index.parse(path, args=["-std=c++20", "-I", "src"])
+        for cur in tu.cursor.walk_preorder():
+            if str(cur.location.file) != path:
+                continue
+            if cur.kind == CursorKind.CXX_FOR_RANGE_STMT:
+                children = list(cur.get_children())
+                if children and "unordered_" in (
+                        children[-2].type.spelling
+                        if len(children) >= 2 else ""):
+                    findings.append(
+                        (path, cur.location.line,
+                         "unordered-iteration", cur.spelling or ""))
+            if cur.kind == CursorKind.FIELD_DECL:
+                parent = cur.semantic_parent
+                if parent is None or not re.search(
+                        r"(Packet|Flit|Config|Params|Fields|Shape)$",
+                        parent.spelling or ""):
+                    continue
+                if cur.type.get_canonical().kind.name in (
+                        "BOOL", "INT", "UINT", "ULONG", "LONG",
+                        "FLOAT", "DOUBLE", "POINTER", "ENUM",
+                        "UCHAR", "CHAR_S", "USHORT", "SHORT",
+                        "ULONGLONG", "LONGLONG"):
+                    toks = " ".join(
+                        t.spelling for t in cur.get_tokens())
+                    if "=" not in toks and "{" not in toks:
+                        findings.append(
+                            (path, cur.location.line,
+                             "missing-field-init", toks))
+    return findings
+
+
+# --- driver ----------------------------------------------------------
+
+def collect(roots):
+    files = []
+    for root in roots:
+        if os.path.isfile(root):
+            files.append(root)
+            continue
+        if not os.path.isdir(root):
+            print(f"simlint: no such file or directory: {root}",
+                  file=sys.stderr)
+            sys.exit(2)
+        for dirpath, _, names in os.walk(root):
+            for name in sorted(names):
+                if name.endswith(CXX_EXT):
+                    files.append(os.path.join(dirpath, name))
+    return sorted(files)
+
+
+def main(argv):
+    args = argv[1:]
+    if "--list-rules" in args:
+        for rule, what in RULES.items():
+            print(f"{rule:22} {what}")
+        return 0
+    if not args:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+
+    findings = []
+
+    def report(path, lineno, rule, excerpt):
+        findings.append((path, lineno, rule, excerpt))
+
+    files = collect(args)
+    for path in files:
+        lint_file(path, report)
+
+    ast = try_libclang(files)
+    if ast:
+        known = {(p, ln, r) for p, ln, r, _ in findings}
+        findings += [f for f in ast if f[:3] not in known]
+
+    for path, lineno, rule, excerpt in sorted(findings):
+        print(f"{path}:{lineno}: [{rule}] {RULES[rule]}")
+        print(f"    {excerpt[:100]}")
+    n = len(findings)
+    print(f"simlint: {len(files)} files, "
+          f"{n} finding{'s' if n != 1 else ''}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,66 @@
+#include "check/check_config.hh"
+
+#include "common/log.hh"
+
+namespace ocor
+{
+
+const char *
+checkName(CheckId id)
+{
+    switch (id) {
+      case CheckId::Mutex:       return "mutex";
+      case CheckId::VcFifo:      return "vc-fifo";
+      case CheckId::OneHot:      return "onehot";
+      case CheckId::Arbitration: return "arbitration";
+      case CheckId::Credit:      return "credit";
+      case CheckId::Rtr:         return "rtr";
+      case CheckId::Wakeup:      return "wakeup";
+      case CheckId::NumChecks:   break;
+    }
+    return "?";
+}
+
+unsigned
+parseCheckList(const std::string &spec)
+{
+    if (spec == "all")
+        return allChecksMask();
+    unsigned mask = 0;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string name = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (name.empty())
+            continue;
+        bool found = false;
+        for (unsigned i = 0;
+             i < static_cast<unsigned>(CheckId::NumChecks); ++i) {
+            if (name == checkName(static_cast<CheckId>(i))) {
+                mask |= 1u << i;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            ocor_fatal("unknown checker '%s' (valid: mutex, vc-fifo, "
+                       "onehot, arbitration, credit, rtr, wakeup, "
+                       "all)", name.c_str());
+    }
+    return mask;
+}
+
+unsigned
+defaultCheckMask()
+{
+#ifdef OCOR_CHECK_DEFAULT_ALL
+    return allChecksMask();
+#else
+    return 0;
+#endif
+}
+
+} // namespace ocor

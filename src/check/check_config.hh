@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Configuration of the runtime invariant checkers.
+ *
+ * Each CheckId names one protocol invariant the simulator can police
+ * while it runs (see check/checkers.hh for the invariants and their
+ * paper grounding). A CheckConfig selects any subset via a bitmask;
+ * an empty mask disables the subsystem entirely, in which case every
+ * hook in the hot path costs exactly one pointer test.
+ *
+ * The OCOR_CHECK CMake option flips the *default* mask from empty to
+ * all-checks, producing a hardened build where every simulation —
+ * tests and benches alike — runs fully checked unless a config
+ * explicitly opts out.
+ */
+
+#ifndef OCOR_CHECK_CHECK_CONFIG_HH
+#define OCOR_CHECK_CHECK_CONFIG_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ocor
+{
+
+/** Every runtime invariant checker. */
+enum class CheckId : std::uint8_t
+{
+    Mutex,       ///< <=1 thread inside a critical section per lock
+    VcFifo,      ///< FIFO order preserved within every input VC
+    OneHot,      ///< Table-1 header fields well-formed (one-hot)
+    Arbitration, ///< no grant beats a strictly higher-priority rival
+    Credit,      ///< per-link credit/flit conservation
+    Rtr,         ///< RTR monotonically non-increasing per attempt
+    Wakeup,      ///< every WAKE_UP reaches exactly one sleeper
+    NumChecks
+};
+
+/** Bit for a checker in CheckConfig::checks. */
+constexpr unsigned
+checkBit(CheckId id)
+{
+    return 1u << static_cast<unsigned>(id);
+}
+
+/** Mask with every checker enabled. */
+constexpr unsigned
+allChecksMask()
+{
+    return (1u << static_cast<unsigned>(CheckId::NumChecks)) - 1;
+}
+
+/** Stable name of a checker ("mutex", "vc-fifo", ...). */
+const char *checkName(CheckId id);
+
+/**
+ * Parse a comma-separated checker list ("mutex,credit", "all") into
+ * a bitmask. Unknown names abort via ocor_fatal (they are a user
+ * error on the command line).
+ */
+unsigned parseCheckList(const std::string &spec);
+
+/** Default mask: empty, or every check under -DOCOR_CHECK=ON. */
+unsigned defaultCheckMask();
+
+/** Invariant-checking knobs; part of SystemConfig. */
+struct CheckConfig
+{
+    /** Enabled checkers (checkBit mask); 0 = checking off. */
+    unsigned checks = defaultCheckMask();
+
+    /** Trace-ring events dumped on a violation (when tracing on). */
+    std::size_t dumpEvents = 32;
+
+    bool enabled() const { return checks != 0; }
+
+    bool has(CheckId id) const { return (checks & checkBit(id)) != 0; }
+};
+
+} // namespace ocor
+
+#endif // OCOR_CHECK_CHECK_CONFIG_HH

@@ -54,7 +54,8 @@ Rng::range(std::uint64_t bound)
     // the small bounds used by the simulator.
     if (bound == 0)
         return 0;
-    unsigned __int128 m = static_cast<unsigned __int128>(next()) * bound;
+    __extension__ typedef unsigned __int128 u128;
+    u128 m = static_cast<u128>(next()) * bound;
     return static_cast<std::uint64_t>(m >> 64);
 }
 

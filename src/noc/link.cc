@@ -1,5 +1,6 @@
 #include "noc/link.hh"
 
+#include "check/checker_registry.hh"
 #include "common/log.hh"
 
 namespace ocor
@@ -13,6 +14,8 @@ Link::sendFlit(const Flit &flit, Cycle now)
                    static_cast<unsigned long long>(now));
     lastFlitSend_ = now;
     ++flitsCarried_;
+    if (check_)
+        check_->onLinkFlitSent();
 
     if (fault_ && fault_->active()) {
         Flit f = flit;
@@ -66,6 +69,8 @@ Link::takeFlit(Cycle now)
         ocor_panic("Link: flit missed its delivery cycle");
     Flit f = flits_.front().second;
     flits_.pop_front();
+    if (check_)
+        check_->onLinkFlitDelivered();
     return f;
 }
 

@@ -24,6 +24,8 @@
 namespace ocor
 {
 
+class CheckerRegistry;
+
 /** One-cycle (configurable) pipelined channel between two agents. */
 class Link
 {
@@ -42,6 +44,10 @@ class Link
         fault_ = fi;
         linkId_ = link_id;
     }
+
+    /** Attach the invariant checker (null = checking off): feeds the
+     * wire-level flit conservation ledger. */
+    void setChecker(CheckerRegistry *c) { check_ = c; }
 
     /** Upstream puts a flit on the wire during cycle @p now. */
     void sendFlit(const Flit &flit, Cycle now);
@@ -64,6 +70,7 @@ class Link
 
   private:
     unsigned latency_;
+    CheckerRegistry *check_ = nullptr;
     std::uint64_t flitsCarried_ = 0;
     Cycle lastFlitSend_ = neverCycle;
     std::deque<std::pair<Cycle, Flit>> flits_;

@@ -126,6 +126,17 @@ Network::setTracer(Tracer *t)
         ni->setTracer(t);
 }
 
+void
+Network::setChecker(CheckerRegistry *c)
+{
+    for (auto &r : routers_)
+        r->setChecker(c);
+    for (auto &ni : nis_)
+        ni->setChecker(c);
+    for (auto &l : links_)
+        l->setChecker(c);
+}
+
 std::uint64_t
 Network::totalFlitsInjected() const
 {

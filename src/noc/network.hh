@@ -22,6 +22,7 @@ namespace ocor
 {
 
 class Tracer;
+class CheckerRegistry;
 
 /** Network-wide aggregate statistics. */
 struct NetworkStats
@@ -77,6 +78,9 @@ class Network
 
     /** Hand every router and NI the event tracer (null = off). */
     void setTracer(Tracer *t);
+
+    /** Hand every router, NI and link the invariant checker. */
+    void setChecker(CheckerRegistry *c);
 
     /** Link fan-out for interval telemetry. */
     unsigned numLinks() const

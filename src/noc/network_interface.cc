@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <array>
 
+#include "check/checker_registry.hh"
 #include "common/log.hh"
 #include "common/trace.hh"
 #include "core/priority.hh"
+#include "noc/routing.hh"
 
 namespace ocor
 {
@@ -30,6 +32,8 @@ void
 NetworkInterface::inject(const PacketPtr &pkt, Cycle now)
 {
     pkt->injectCycle = now;
+    if (check_)
+        check_->onInject(*pkt, now);
     if (trace_)
         trace_->record(TraceCat::Noc, TraceEv::PktInject, now, id_,
                        invalidThread, 0, pkt->id,
@@ -274,6 +278,10 @@ NetworkInterface::sendOneFlit(Cycle now)
     --vc.credits;
     ++vc.nextFlit;
     ++stats_.flitsInjected;
+    // The NI's injection VCs are "port NumPorts" in the credit
+    // ledger: a pseudo-port that can never clash with a router port.
+    if (check_)
+        check_->onTraversal(id_, NumPorts, flit.vc, now);
 
     if (flit.isTail()) {
         ++stats_.packetsInjected;
@@ -296,6 +304,8 @@ NetworkInterface::tick(Cycle now)
             if (vc.credits >= params_.vcDepth)
                 ocor_panic("NI %u: credit overflow", id_);
             ++vc.credits;
+            if (check_)
+                check_->onCreditReturn(id_, NumPorts, v, now);
         }
     }
 

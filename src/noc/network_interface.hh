@@ -36,6 +36,7 @@ namespace ocor
 {
 
 class Tracer;
+class CheckerRegistry;
 
 /** NI observability counters. */
 struct NiStats
@@ -105,6 +106,9 @@ class NetworkInterface
     /** Attach the event tracer (null = tracing off, zero overhead). */
     void setTracer(Tracer *t) { trace_ = t; }
 
+    /** Attach the invariant checker (null = checking off). */
+    void setChecker(CheckerRegistry *c) { check_ = c; }
+
     /** Packets waiting for a VC (tests and backpressure checks). */
     std::size_t queueDepth() const { return injectQueue_.size(); }
 
@@ -127,7 +131,7 @@ class NetworkInterface
     struct QueuedPacket
     {
         PacketPtr pkt;
-        Cycle ready;     ///< earliest cycle the head may leave
+        Cycle ready = 0; ///< earliest cycle the head may leave
     };
     std::deque<QueuedPacket> injectQueue_;
 
@@ -135,7 +139,7 @@ class NetworkInterface
     {
         PacketPtr pkt;       ///< null when the VC is free
         unsigned nextFlit = 0;
-        unsigned credits;
+        unsigned credits = 0;
     };
     std::vector<ActiveVc> outVcs_;
     Arbiter sendArb_;
@@ -171,6 +175,7 @@ class NetworkInterface
     std::deque<std::pair<Cycle, std::uint64_t>> deliveredAge_;
 
     Tracer *trace_ = nullptr;
+    CheckerRegistry *check_ = nullptr;
     NiStats stats_;
 };
 

@@ -1,5 +1,8 @@
 #include "noc/router.hh"
 
+#include <utility>
+
+#include "check/checker_registry.hh"
 #include "common/log.hh"
 #include "common/trace.hh"
 #include "core/priority.hh"
@@ -46,7 +49,19 @@ std::int64_t
 Router::headRank(const VcState &vc) const
 {
     const auto &pkt = vc.front().flit.pkt;
-    return static_cast<std::int64_t>(priorityRank(ocor_, pkt->priority));
+    auto rank =
+        static_cast<std::int64_t>(priorityRank(ocor_, pkt->priority));
+    if (testInvertArb_)
+        rank = (std::int64_t{1} << 20) - rank;
+    return rank;
+}
+
+void
+Router::testSwapVcFlits(unsigned port, unsigned v)
+{
+    auto &fifo = inputs_[port].vcs[v].fifo;
+    if (fifo.size() >= 2)
+        std::swap(fifo[0], fifo[1]);
 }
 
 void
@@ -62,6 +77,8 @@ Router::deliverIncoming(Cycle now)
                 if (state.credits >= params_.vcDepth)
                     ocor_panic("router %u: credit overflow", id_);
                 ++state.credits;
+                if (check_)
+                    check_->onCreditReturn(id_, p, vc, now);
             }
         }
         // Flits arriving from upstream.
@@ -73,6 +90,8 @@ Router::deliverIncoming(Cycle now)
                                id_, p, flit->vc);
                 vc.fifo.push_back({*flit, now});
                 ++buffered_;
+                if (check_)
+                    check_->onVcPush(id_, p, flit->vc, *flit, now);
             }
         }
     }
@@ -155,6 +174,17 @@ Router::vcAllocation(Cycle now)
             int winner = vaArb_[op].pick(ranks);
             if (winner < 0)
                 break;
+            if (check_ && check_->wantsArbitration()) {
+                std::vector<const Packet *> cands(NumPorts * nvc,
+                                                  nullptr);
+                for (unsigned i = 0; i < NumPorts * nvc; ++i)
+                    if (ranks[i] >= 0)
+                        cands[i] = inputs_[i / nvc].vcs[i % nvc]
+                                       .front().flit.pkt.get();
+                check_->onArbGrant(id_, "va", cands,
+                                   static_cast<unsigned>(winner),
+                                   now);
+            }
             unsigned wp = static_cast<unsigned>(winner) / nvc;
             unsigned wv = static_cast<unsigned>(winner) % nvc;
             int ovc = outputs_[op].findFreeVc();
@@ -215,6 +245,16 @@ Router::switchAllocation(Cycle now)
         int winner = count == 1 ? saLocalArb_[p].grantSingle(lastV)
                                 : saLocalArb_[p].pick(ranks);
         if (winner >= 0) {
+            if (count > 1 && check_ && check_->wantsArbitration()) {
+                std::vector<const Packet *> cands(nvc, nullptr);
+                for (unsigned v = 0; v < nvc; ++v)
+                    if (ranks[v] >= 0)
+                        cands[v] =
+                            inputs_[p].vcs[v].front().flit.pkt.get();
+                check_->onArbGrant(id_, "sa-local", cands,
+                                   static_cast<unsigned>(winner),
+                                   now);
+            }
             auto &vc = inputs_[p].vcs[winner];
             local[p] = {true, static_cast<unsigned>(winner),
                         ranks[winner], vc.outPort};
@@ -239,6 +279,15 @@ Router::switchAllocation(Cycle now)
                                 : saGlobalArb_[op].pick(ranks);
         if (winner < 0)
             continue;
+        if (count > 1 && check_ && check_->wantsArbitration()) {
+            std::vector<const Packet *> cands(NumPorts, nullptr);
+            for (unsigned pp = 0; pp < NumPorts; ++pp)
+                if (local[pp].valid && local[pp].outPort == op)
+                    cands[pp] = inputs_[pp].vcs[local[pp].inVc]
+                                    .front().flit.pkt.get();
+            check_->onArbGrant(id_, "sa-global", cands,
+                               static_cast<unsigned>(winner), now);
+        }
         if (count > 1)
             for (unsigned p = 0; p < NumPorts; ++p)
                 if (local[p].valid && local[p].outPort == op &&
@@ -251,6 +300,8 @@ Router::switchAllocation(Cycle now)
         BufferedFlit bf = vc.fifo.front();
         vc.fifo.pop_front();
         --buffered_;
+        if (check_)
+            check_->onVcPop(id_, p, local[p].inVc, bf.flit, now);
 
         Flit out = bf.flit;
         out.vc = static_cast<unsigned>(vc.outVc);
@@ -261,6 +312,8 @@ Router::switchAllocation(Cycle now)
         outLinks_[op]->sendFlit(out, now);
         auto &ovc = outputs_[op].vcs[vc.outVc];
         --ovc.credits;
+        if (check_)
+            check_->onTraversal(id_, op, out.vc, now);
 
         // Return the freed buffer slot upstream.
         if (inLinks_[p])

@@ -39,6 +39,7 @@ namespace ocor
 {
 
 class Tracer;
+class CheckerRegistry;
 
 /** Per-router observability counters. */
 struct RouterStats
@@ -73,6 +74,23 @@ class Router
 
     /** Attach the event tracer (null = tracing off, zero overhead). */
     void setTracer(Tracer *t) { trace_ = t; }
+
+    /** Attach the invariant checker (null = checking off). */
+    void setChecker(CheckerRegistry *c) { check_ = c; }
+
+    /**
+     * Test hook: invert every Table-1 rank fed to the VA/SA
+     * arbiters, so the *lowest*-priority competitor wins. Exists
+     * solely so seeded-violation tests can prove the arbitration
+     * checker fires; never set outside tests.
+     */
+    void testInvertArbitration(bool on) { testInvertArb_ = on; }
+
+    /**
+     * Test hook: swap the two oldest buffered flits of one input VC,
+     * violating FIFO order. Seeded-violation tests only.
+     */
+    void testSwapVcFlits(unsigned port, unsigned v);
 
     /** Buffered flit count (for drain checks and tests). */
     unsigned occupancy() const;
@@ -117,6 +135,8 @@ class Router
     std::array<std::int64_t, NumPorts> saGlobalRanks_{};
 
     Tracer *trace_ = nullptr;
+    CheckerRegistry *check_ = nullptr;
+    bool testInvertArb_ = false;
     RouterStats stats_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/checker_registry.hh"
 #include "common/log.hh"
 #include "common/trace.hh"
 
@@ -187,6 +188,8 @@ LockManager::process(const PacketPtr &pkt, Cycle now)
                 wake->thread = pkt->thread;
                 wake->priority = pkt->priority;
                 send_(wake, now);
+                if (check_)
+                    check_->onWakeSent(pkt->addr, pkt->thread, now);
                 if (trace_)
                     trace_->record(
                         TraceCat::Lock, TraceEv::WakeupSent, now,
@@ -220,6 +223,8 @@ LockManager::process(const PacketPtr &pkt, Cycle now)
             wake->thread = pkt->thread;
             wake->priority = pkt->priority;
             send_(wake, now);
+            if (check_)
+                check_->onWakeSent(pkt->addr, pkt->thread, now);
             if (trace_)
                 trace_->record(
                     TraceCat::Lock, TraceEv::WakeupSent, now, node_,
@@ -251,6 +256,8 @@ LockManager::process(const PacketPtr &pkt, Cycle now)
             wake->thread = tid;
             wake->priority = pkt->priority; // wakeup class (lowest)
             send_(wake, now);
+            if (check_)
+                check_->onWakeSent(pkt->addr, tid, now);
             if (trace_)
                 trace_->record(
                     TraceCat::Lock, TraceEv::WakeupSent, now, node_,

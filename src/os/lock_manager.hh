@@ -27,6 +27,7 @@ namespace ocor
 {
 
 class Tracer;
+class CheckerRegistry;
 
 /** Lock-manager observability counters. */
 struct LockMgrStats
@@ -70,6 +71,9 @@ class LockManager
     /** Attach the event tracer (null = tracing off, zero overhead). */
     void setTracer(Tracer *t) { trace_ = t; }
 
+    /** Attach the invariant checker (null = checking off). */
+    void setChecker(CheckerRegistry *c) { check_ = c; }
+
     // --- oracle accessors (simulation-level accounting only) --------
     bool heldNow(Addr lock_word) const;
     ThreadId holderOf(Addr lock_word) const;
@@ -108,6 +112,7 @@ class LockManager
     std::deque<std::pair<Cycle, PacketPtr>> retries_;
 
     Tracer *trace_ = nullptr;
+    CheckerRegistry *check_ = nullptr;
     LockMgrStats stats_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/checker_registry.hh"
 #include "common/log.hh"
 #include "common/trace.hh"
 #include "core/priority.hh"
@@ -69,6 +70,8 @@ QSpinlock::acquire(Addr lock_word, Cycle now, AcquiredFn done)
     tryInFlight_ = false;
     done_ = std::move(done);
     pcb_.state = ThreadState::Spinning;
+    if (check_)
+        check_->onAcquireStart(pcb_.tid, now);
     if (trace_)
         trace_->record(TraceCat::Lock, TraceEv::LockAcquireStart, now,
                        pcb_.node, pcb_.tid, lock_, 0,
@@ -85,6 +88,8 @@ QSpinlock::issueTry(Cycle now)
     pcb_.regProg = pcb_.prog;
     tryInFlight_ = true;
     trySentAt_ = now;
+    if (check_)
+        check_->onLockTry(pcb_.tid, pcb_.regRtr, now);
 
     auto pkt = makePacket(MsgType::LockTry, pcb_.node,
                           amap_.homeOf(lock_), lock_);
@@ -191,6 +196,12 @@ QSpinlock::handle(const PacketPtr &pkt, Cycle now)
         break;
 
       case MsgType::WakeNotify:
+        // Every WakeNotify arrival is one delivered wakeup: the sink
+        // NI absorbs network duplicates, so each arrival pairs with a
+        // distinct home-side send (watchdog rewakes re-arm the
+        // checker's outstanding entry).
+        if (check_)
+            check_->onWakeConsumed(pkt->addr, pcb_.tid, now);
         // The home node woke this thread *and* reserved the lock for
         // it (queue-spinlock: the woken waiter secures the lock).
         if (active_ && pkt->addr == lock_) {

@@ -42,6 +42,7 @@ namespace ocor
 {
 
 class Tracer;
+class CheckerRegistry;
 
 /** Per-thread queue-spinlock state machine. */
 class QSpinlock
@@ -84,6 +85,20 @@ class QSpinlock
 
     /** Attach the event tracer (null = tracing off, zero overhead). */
     void setTracer(Tracer *t) { trace_ = t; }
+
+    /** Attach the invariant checker (null = checking off). */
+    void setChecker(CheckerRegistry *c) { check_ = c; }
+
+    /**
+     * Test hook: pretend to hold @p lock_word without acquiring it,
+     * so seeded-violation tests can break mutual exclusion on
+     * purpose. Never called outside tests.
+     */
+    void testForceHold(Addr lock_word)
+    {
+        holding_ = true;
+        lock_ = lock_word;
+    }
 
   private:
     enum class Timer : std::uint8_t
@@ -131,6 +146,7 @@ class QSpinlock
     std::uint64_t duplicatesAbsorbed_ = 0;
 
     Tracer *trace_ = nullptr;
+    CheckerRegistry *check_ = nullptr;
 };
 
 } // namespace ocor

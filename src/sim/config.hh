@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "check/check_config.hh"
 #include "common/trace.hh"
 #include "common/types.hh"
 #include "core/ocor_config.hh"
@@ -53,6 +54,11 @@ struct SystemConfig
 
     /** Event tracing (off by default: categories == 0). */
     TraceConfig trace;
+
+    /** Runtime invariant checking (off by default — checks == 0 —
+     * unless the build sets OCOR_CHECK, which flips the default mask
+     * to every checker). */
+    CheckConfig check;
 
     void validate() const;
 

@@ -38,6 +38,7 @@ makeSystemConfig(const ExperimentConfig &exp, bool ocor_enabled)
     if (exp.ocorOverrideSet)
         cfg.ocor = exp.ocorOverride;
     cfg.ocor.enabled = ocor_enabled;
+    cfg.check = exp.check;
     return cfg;
 }
 

@@ -47,6 +47,9 @@ struct ExperimentConfig
     unsigned iterationsOverride = 0; ///< 0 = profile default
     OcorConfig ocorOverride;         ///< applied to the OCOR run
     bool ocorOverrideSet = false;
+
+    /** Runtime invariant checking, applied to both runs of a pair. */
+    CheckConfig check;
 };
 
 /**

@@ -148,6 +148,7 @@ Simulator::run()
     Tracer *tr = system_->tracer();
     if (tr)
         tr->record(TraceCat::Sim, TraceEv::RunBegin, 0, invalidNode);
+    CheckerRegistry *ck = system_->checker();
 
     Cycle last_progress_at = 0;
     std::uint64_t last_progress = 0;
@@ -163,6 +164,8 @@ Simulator::run()
             system_->tick(now_);
             accountCycle(now_);
         }
+        if (ck)
+            ck->onCycleEnd(now_);
         if (telemetry_.due(now_)) {
             telemetry_.sample(now_, *system_);
             if (tr)
@@ -203,6 +206,8 @@ Simulator::run()
     if (tr)
         tr->record(TraceCat::Sim, TraceEv::RunEnd, now_, invalidNode,
                    invalidThread, 0, 0, hangDetected_ ? 1 : 0);
+    if (ck)
+        ck->finalize(now_);
     wall_.cycles = now_;
     wall_.totalSeconds = seconds_since(run_start, clock::now());
 

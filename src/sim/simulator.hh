@@ -127,6 +127,8 @@ class Simulator
     {
         system_->tick(now_);
         accountCycle(now_);
+        if (CheckerRegistry *ck = system_->checker())
+            ck->onCycleEnd(now_);
         ++now_;
     }
 

@@ -68,6 +68,19 @@ System::System(const SystemConfig &cfg, std::vector<Program> programs,
         for (auto &qs : qspins_)
             qs->setTracer(tracer_.get());
     }
+
+    if (cfg_.check.enabled()) {
+        checks_ = std::make_unique<CheckerRegistry>(
+            cfg_.check, cfg_.ocor, cfg_.noc.vcDepth);
+        checks_->attachSystem(this);
+        checks_->attachTracer(tracer_.get());
+        checks_->attachFault(fault_.get());
+        network_->setChecker(checks_.get());
+        for (auto &lm : lockMgrs_)
+            lm->setChecker(checks_.get());
+        for (auto &qs : qspins_)
+            qs->setChecker(checks_.get());
+    }
 }
 
 void
@@ -148,6 +161,12 @@ System::registerStats(StatsRegistry &reg, const std::string &prefix)
         });
         reg.addScalarFn(prefix + ".trace.dropped", [this]() {
             return static_cast<double>(tracer_->dropped());
+        });
+    }
+
+    if (checks_) {
+        reg.addScalarFn(prefix + ".check.violations", [this]() {
+            return static_cast<double>(checks_->violations());
         });
     }
 }

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "check/checker_registry.hh"
 #include "common/stats_registry.hh"
 #include "common/trace.hh"
 #include "cpu/core.hh"
@@ -61,6 +62,9 @@ class System
     /** Event tracer; null when cfg.trace is off. */
     Tracer *tracer() { return tracer_.get(); }
 
+    /** Invariant-checker registry; null when cfg.check is off. */
+    CheckerRegistry *checker() { return checks_.get(); }
+
     /**
      * Register every component's live counters under dotted names
      * ("<prefix>.router3.sa_grants", "<prefix>.lockmgr0.grants",
@@ -107,6 +111,7 @@ class System
     std::unique_ptr<FaultInjector> fault_; ///< before network_
     std::unique_ptr<Tracer> tracer_;       ///< null when tracing off
     std::unique_ptr<Network> network_;
+    std::unique_ptr<CheckerRegistry> checks_; ///< null: checking off
 
     std::vector<std::unique_ptr<Pcb>> pcbs_;
     std::vector<std::unique_ptr<L1Cache>> l1s_;

@@ -29,7 +29,6 @@ makeProfile(const std::string &name, const std::string &suite,
     p.highNetUtil = high_net;
 
     const double j0 = nameJitter(name, 0);
-    const double j1 = nameJitter(name, 1);
     const double j2 = nameJitter(name, 2);
 
     // Class parameters were calibrated against the paper's Table 3

@@ -86,7 +86,7 @@ TEST(ThreadPool, BusyTimeAndTaskCountsAccumulate)
             // Enough work for steady_clock to register nonzero time.
             volatile int x = 0;
             for (int k = 0; k < 200000; ++k)
-                x += k;
+                x = x + k;
             return static_cast<int>(x);
         }));
     for (auto &f : futs)

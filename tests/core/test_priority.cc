@@ -221,9 +221,10 @@ TEST(PriorityRank, FullOrderIsLexicographic)
             f.priorityBits = onehotEncode(level);
             f.progressBits = onehotEncode(static_cast<unsigned>(seg));
             auto r = priorityRank(cfg, f);
-            if (!first)
+            if (!first) {
                 EXPECT_GT(r, prev) << "seg=" << seg
                                    << " level=" << level;
+            }
             prev = r;
             first = false;
         }

@@ -68,8 +68,9 @@ TEST(Synthetic, LockIndicesWithinRange)
     p.iterations = 50;
     Program prog = buildSyntheticProgram(p, 9, 5);
     for (const Op &op : prog.ops)
-        if (op.type == OpType::Lock)
+        if (op.type == OpType::Lock) {
             EXPECT_LT(op.arg, p.numLocks);
+        }
 }
 
 TEST(Synthetic, SingleLockAlwaysIndexZero)
@@ -78,8 +79,9 @@ TEST(Synthetic, SingleLockAlwaysIndexZero)
     p.numLocks = 1;
     Program prog = buildSyntheticProgram(p, 9, 5);
     for (const Op &op : prog.ops)
-        if (op.type == OpType::Lock)
+        if (op.type == OpType::Lock) {
             EXPECT_EQ(op.arg, 0u);
+        }
 }
 
 TEST(Synthetic, CsAccessesTouchLockRegion)
