@@ -29,6 +29,23 @@
  *                           "mutex", "vc-fifo", "onehot",
  *                           "arbitration", "credit", "rtr", "wakeup"
  *                           (comma-separated; bare --check means all)
+ *
+ * Crash safety / supervision flags (see DESIGN.md §12):
+ *   --deadline SEC   wall-clock deadline for a 16-thread 4-iteration
+ *                    run, scaled with the request size; a miss
+ *                    cancels and retries (0 = off, the default)
+ *   --retries N      retries per failed/timed-out request (default 2
+ *                    once supervision is on)
+ *   --quarantine N   attempt failures after which a configuration is
+ *                    skipped for the rest of the sweep (default 3)
+ *   --replay FILE    re-run the exact simulation recorded in a crash
+ *                    dump, deterministically, then exit
+ *
+ * Every bench installs a crash handler that writes
+ * crash_<prog>.dump next to the working directory on SIGSEGV,
+ * SIGABRT or SIGTERM; feed that file back via --replay. Benches
+ * running under supervision exit 75 (EX_TEMPFAIL) when the sweep
+ * completed but some requests were degraded.
  */
 
 #ifndef OCOR_BENCH_BENCH_UTIL_HH
@@ -42,6 +59,7 @@
 
 #include "check/check_config.hh"
 #include "common/trace.hh"
+#include "sim/crashdump.hh"
 #include "sim/parallel_runner.hh"
 #include "sim/result_cache.hh"
 
@@ -68,8 +86,34 @@ struct Options
     /** --check selection ("" = the build's default mask). */
     std::string checkList;
 
+    // --- crash safety / supervision (DESIGN.md §12) -----------------
+    std::string replay;      ///< crash dump to re-run ("" = none)
+    double deadline = 0.0;   ///< base deadline seconds (0 = off)
+    unsigned retries = 2;    ///< retries per failed request
+    bool retriesSet = false; ///< --retries given explicitly
+    unsigned quarantine = 3; ///< failures before a config is skipped
+
     bool tracing() const { return !traceCats.empty(); }
     bool checking() const { return !checkList.empty(); }
+
+    /** Supervision is on once any of its knobs is exercised. */
+    bool
+    supervised() const
+    {
+        return deadline > 0.0 || retriesSet;
+    }
+
+    /** The SupervisePolicy these options describe. */
+    SupervisePolicy
+    supervision() const
+    {
+        SupervisePolicy p;
+        p.deadlineSeconds = deadline;
+        p.maxAttempts = retries + 1;
+        p.quarantineAfter = quarantine;
+        p.enabled = supervised();
+        return p;
+    }
 
     /** The --check mask for a directly built SystemConfig. */
     unsigned
@@ -90,6 +134,48 @@ struct Options
         return exp;
     }
 };
+
+/** Exit code for a degraded-but-complete supervised sweep. */
+constexpr int kExitDegraded = 75; // EX_TEMPFAIL
+
+/**
+ * Re-run the simulation recorded in crash dump @p dumpPath exactly
+ * (the repro line pins profile, threads, iterations, seed and the
+ * OCOR flag; simulations are bit-identical given those). Returns the
+ * process exit code.
+ */
+inline int
+runReplay(const std::string &dumpPath)
+{
+    auto spec = crashdump::parseDump(dumpPath);
+    if (!spec) {
+        std::fprintf(stderr,
+                     "%s: not a crash dump or no repro line "
+                     "(crash outside a simulation?)\n",
+                     dumpPath.c_str());
+        return 1;
+    }
+    std::printf("replaying %s: benchmark=%s threads=%u iters=%u "
+                "seed=%llu ocor=%d\n",
+                dumpPath.c_str(), spec->benchmark.c_str(),
+                spec->threads, spec->iterations,
+                static_cast<unsigned long long>(spec->seed),
+                spec->ocorEnabled ? 1 : 0);
+    const BenchmarkProfile profile = profileByName(spec->benchmark);
+    ExperimentConfig exp;
+    exp.threads = spec->threads;
+    exp.iterationsOverride = spec->iterations;
+    exp.seed = spec->seed;
+    RunMetrics m = runOnce(profile, exp, spec->ocorEnabled);
+    std::printf("replay finished: roi=%llu coh=%llu acquisitions="
+                "%llu hang=%d\n",
+                static_cast<unsigned long long>(m.roiFinish),
+                static_cast<unsigned long long>(m.totalCoh()),
+                static_cast<unsigned long long>(
+                    m.totalAcquisitions()),
+                m.hangDetected ? 1 : 0);
+    return m.hangDetected ? 1 : 0;
+}
 
 /** Parse the common flags; unknown flags abort with usage. */
 inline Options
@@ -155,6 +241,17 @@ parseOptions(int argc, char **argv)
             opt.checkList = "all"; // bare form: every checker
         else if (valueOf("--check", v))
             opt.checkList = v;
+        else if (valueOf("--replay", v))
+            opt.replay = v;
+        else if (valueOf("--deadline", v))
+            opt.deadline = std::strtod(v.c_str(), nullptr);
+        else if (valueOf("--retries", v)) {
+            opt.retries = static_cast<unsigned>(
+                std::atoi(v.c_str()));
+            opt.retriesSet = true;
+        } else if (valueOf("--quarantine", v))
+            opt.quarantine = static_cast<unsigned>(
+                std::atoi(v.c_str()));
         else {
             std::fprintf(stderr,
                          "unknown flag %s\n"
@@ -164,12 +261,70 @@ parseOptions(int argc, char **argv)
                          "[--trace-out FILE] [--stats-json FILE] "
                          "[--telemetry-interval N] "
                          "[--telemetry-out FILE] [--pool-util] "
-                         "[--check[=LIST]]\n",
+                         "[--check[=LIST]] [--deadline SEC] "
+                         "[--retries N] [--quarantine N] "
+                         "[--replay DUMP]\n",
                          a.c_str(), argv[0]);
             std::exit(1);
         }
     }
+
+    // Crash capture is always armed: a fatal signal leaves
+    // crash_<prog>.dump behind, ready for --replay.
+    std::string prog = argv[0] ? argv[0] : "bench";
+    auto slash = prog.find_last_of('/');
+    if (slash != std::string::npos)
+        prog = prog.substr(slash + 1);
+    crashdump::install("crash_" + prog + ".dump");
+
+    // --replay short-circuits the bench entirely: one deterministic
+    // re-run of the dumped configuration, then exit.
+    if (!opt.replay.empty())
+        std::exit(runReplay(opt.replay));
     return opt;
+}
+
+/**
+ * Install the Options' supervision policy on @p runner (no-op when
+ * supervision is off, keeping the sweep bit-identical to an
+ * unsupervised run).
+ */
+inline void
+superviseRunner(ParallelRunner &runner, const Options &opt)
+{
+    if (opt.supervised())
+        runner.setSupervision(opt.supervision());
+}
+
+/**
+ * Report degraded outcomes of the last sweep and return the bench
+ * exit code: 0 for a clean sweep, kExitDegraded (75) when requests
+ * timed out / failed / were quarantined but the sweep completed.
+ */
+inline int
+sweepExitStatus(const ParallelRunner &runner)
+{
+    if (runner.degradedRuns() == 0)
+        return 0;
+    const auto outcomes = runner.outcomes();
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const RunOutcome &o = outcomes[i];
+        if (o.status == RunStatus::Ok)
+            continue;
+        std::fprintf(stderr,
+                     "degraded request %zu: %s after %u attempt(s)"
+                     "%s%s\n",
+                     i, runStatusName(o.status), o.attempts,
+                     o.detail.empty() ? "" : " -- ",
+                     o.detail.c_str());
+    }
+    std::fprintf(stderr,
+                 "sweep degraded: %llu of %zu requests did not "
+                 "complete cleanly (exit %d)\n",
+                 static_cast<unsigned long long>(
+                     runner.degradedRuns()),
+                 outcomes.size(), kExitDegraded);
+    return kExitDegraded;
 }
 
 /** The shared cache (per-working-directory TSV). */

@@ -23,6 +23,7 @@ main(int argc, char **argv)
 
     ResultCache cache = cacheFor(opt);
     ParallelRunner runner(opt.jobs, &cache);
+    superviseRunner(runner, opt);
     ExperimentConfig exp = opt.experiment();
 
     // Baseline-only sweep: one request per profile, fanned across
@@ -50,5 +51,5 @@ main(int argc, char **argv)
                 cs_sum / profiles.size(), coh_sum / profiles.size());
     std::printf("\nPaper's observation: COH is several times the CS "
                 "execution time itself.\n");
-    return 0;
+    return sweepExitStatus(runner);
 }

@@ -23,6 +23,7 @@ main(int argc, char **argv)
 
     ResultCache cache = cacheFor(opt);
     ParallelRunner runner(opt.jobs, &cache);
+    superviseRunner(runner, opt);
     std::vector<BenchmarkResult> results =
         runner.runSuite(allProfiles(), opt.experiment());
 
@@ -69,5 +70,5 @@ main(int argc, char **argv)
     }
     std::printf("average gain: %+.1f points (paper: +33.1)\n",
                 gain_sum / results.size());
-    return 0;
+    return sweepExitStatus(runner);
 }

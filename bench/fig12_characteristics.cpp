@@ -24,6 +24,7 @@ main(int argc, char **argv)
 
     ResultCache cache = cacheFor(opt);
     ParallelRunner runner(opt.jobs, &cache);
+    superviseRunner(runner, opt);
     std::vector<BenchmarkResult> results =
         runner.runSuite(allProfiles(), opt.experiment());
 
@@ -77,5 +78,5 @@ main(int argc, char **argv)
                 "COH reduction) show high CS access\nrates and high "
                 "network utilization; the bottom entries are low on "
                 "both axes.\n");
-    return 0;
+    return sweepExitStatus(runner);
 }

@@ -24,6 +24,7 @@ main(int argc, char **argv)
 
     ResultCache cache = cacheFor(opt);
     ParallelRunner runner(opt.jobs, &cache);
+    superviseRunner(runner, opt);
     std::vector<BenchmarkResult> results =
         runner.runSuite(allProfiles(), opt.experiment());
 
@@ -44,5 +45,5 @@ main(int argc, char **argv)
     }
     std::printf("average relative CS time: %.3f (paper: ~1.0, "
                 "negligible effect)\n", rel_sum / n);
-    return 0;
+    return sweepExitStatus(runner);
 }

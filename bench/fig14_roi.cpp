@@ -24,6 +24,7 @@ main(int argc, char **argv)
 
     ResultCache cache = cacheFor(opt);
     ParallelRunner runner(opt.jobs, &cache);
+    superviseRunner(runner, opt);
     std::vector<BenchmarkResult> results =
         runner.runSuite(allProfiles(), opt.experiment());
 
@@ -63,5 +64,5 @@ main(int argc, char **argv)
                 omp_sum / omp_n, sum / results.size());
     std::printf("(paper: PARSEC 13.7%%, OMP2012 15.1%%, overall "
                 "14.4%%, max 24.5%% ilbdc)\n");
-    return 0;
+    return sweepExitStatus(runner);
 }

@@ -24,6 +24,7 @@ main(int argc, char **argv)
 
     ResultCache cache = cacheFor(opt);
     ParallelRunner runner(opt.jobs, &cache);
+    superviseRunner(runner, opt);
     const unsigned scales[] = {4, 16, 32, 64};
 
     // A representative subset spanning the characteristic classes
@@ -68,5 +69,5 @@ main(int argc, char **argv)
                 "the right (more threads ->\nmore competition -> "
                 "larger reduction), and high CS-rate/high net-util\n"
                 "programs (botss, ilbdc) drop the furthest.\n");
-    return 0;
+    return sweepExitStatus(runner);
 }

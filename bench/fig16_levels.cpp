@@ -152,11 +152,12 @@ main(int argc, char **argv)
            "(+ rule ablations)");
     ResultCache cache = cacheFor(opt);
     ParallelRunner runner(opt.jobs, &cache);
+    superviseRunner(runner, opt);
     levelSweep(runner, opt);
     if (ablate)
         ablation(runner, opt);
     else
         std::printf("\n(run with --ablate for the Table-1 rule "
                     "ablation study)\n");
-    return 0;
+    return sweepExitStatus(runner);
 }

@@ -26,6 +26,7 @@ main(int argc, char **argv)
 
     ResultCache cache = cacheFor(opt);
     ParallelRunner runner(opt.jobs, &cache);
+    superviseRunner(runner, opt);
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<BenchmarkResult> results =
         runner.runSuite(allProfiles(), opt.experiment());
@@ -108,5 +109,5 @@ main(int argc, char **argv)
         std::printf("stats: %zu entries -> %s\n", reg.size(),
                     opt.statsJson.c_str());
     }
-    return 0;
+    return sweepExitStatus(runner);
 }

@@ -20,22 +20,30 @@
 #                     (build/telemetry.csv); table3 reports worker-pool
 #                     utilization, which is folded into
 #                     build/BENCH_sweep.json
+#   --resume          crash recovery (DESIGN.md §12): reuse the
+#                     results journal from an interrupted sweep, so
+#                     only configurations whose rows never became
+#                     durable are re-simulated
 #   anything else is forwarded verbatim to every simulation bench
 #   (e.g. --iters 8 --seed 3), after the curated per-bench flags so
 #   user flags win.
 #
 # Per-bench and total wall-clock times are printed and written as
-# machine-readable JSON to build/BENCH_sweep.json.
+# machine-readable JSON to build/BENCH_sweep.json, together with a
+# per-bench status ("ok", "degraded" for exit 75, "failed").
 #
-# Fails fast: the first benchmark that exits non-zero aborts the
-# sweep and is named on stderr.
+# A failing benchmark no longer aborts the sweep: every bench runs,
+# failures are summarized at the end, and the script exits 1 if any
+# bench failed hard (or 75 if benches only degraded).
 set -euo pipefail
-cd "$(dirname "$0")/build"
+SELF="$(readlink -f "$0")"
+cd "$(dirname "$SELF")/build"
 
 JOBS="${OCOR_JOBS:-$(nproc)}"
 QUICK=0
 COMPARE_SERIAL=0
 OBSERVE=0
+RESUME=0
 EXTRA=()
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -44,12 +52,29 @@ while [ $# -gt 0 ]; do
       --quick) QUICK=1; shift ;;
       --compare-serial) COMPARE_SERIAL=1; shift ;;
       --observe) OBSERVE=1; shift ;;
+      --resume) RESUME=1; shift ;;
       -h|--help)
-        sed -n '2,31p' "$0" | sed 's/^# \{0,1\}//'
+        sed -n '2,37p' "$SELF" | sed 's/^# \{0,1\}//'
         exit 0 ;;
       *) EXTRA+=("$1"); shift ;;
     esac
 done
+
+if [ "$RESUME" -eq 1 ] && [ "$COMPARE_SERIAL" -eq 1 ]; then
+    echo "error: --resume and --compare-serial are mutually" \
+         "exclusive (--compare-serial forces --fresh)" >&2
+    exit 1
+fi
+if [ "$RESUME" -eq 1 ]; then
+    if [ -f ocor_results.tsv ]; then
+        rows=$(grep -c -v '^#' ocor_results.tsv || true)
+        echo "resume: $rows durable result row(s) in" \
+             "ocor_results.tsv; matching configurations are" \
+             "recalled, not re-simulated"
+    else
+        echo "resume: no ocor_results.tsv yet; running from scratch"
+    fi
+fi
 
 # Curated observability flags (only with --observe). fig10 is the
 # traced run; table3 owns the shared runner, so it reports the pool.
@@ -65,6 +90,8 @@ fi
 SWEEP_JSON="BENCH_sweep.json"
 RECORD=1
 ROWS=()
+FAILED=()
+DEGRADED=()
 
 elapsed() { # elapsed <t0> <t1>
     awk -v a="$1" -v b="$2" 'BEGIN { printf "%.3f", b - a }'
@@ -75,18 +102,24 @@ run_bench() { # run_bench <label> <cmd...>
     shift
     echo
     echo "################ $label: $* ################"
-    local t0 t1 dt status=0
+    local t0 t1 dt status=0 verdict
     t0=$(date +%s.%N)
     "$@" || status=$?
     t1=$(date +%s.%N)
     dt=$(elapsed "$t0" "$t1")
-    if [ "$status" -ne 0 ]; then
-        echo "error: benchmark failed (exit $status): $*" >&2
-        exit "$status"
-    fi
-    echo "### $label: ${dt}s"
+    case "$status" in
+      0)  verdict=ok ;;
+      75) verdict=degraded
+          DEGRADED+=("$label")
+          echo "warning: $label completed degraded (exit 75)" >&2 ;;
+      *)  verdict=failed
+          FAILED+=("$label")
+          echo "error: $label failed (exit $status): $*" >&2 ;;
+    esac
+    echo "### $label: ${dt}s ($verdict)"
     if [ "$RECORD" -eq 1 ]; then
-        ROWS+=("    {\"name\": \"$label\", \"seconds\": $dt}")
+        ROWS+=("    {\"name\": \"$label\", \"seconds\": $dt,"\
+" \"status\": \"$verdict\", \"exit_code\": $status}")
     fi
 }
 
@@ -164,6 +197,11 @@ fi
     else
         echo "  \"quick\": false,"
     fi
+    if [ "$RESUME" -eq 1 ]; then
+        echo "  \"resume\": true,"
+    else
+        echo "  \"resume\": false,"
+    fi
     echo "  \"benches\": ["
     last=$((${#ROWS[@]} - 1))
     for i in "${!ROWS[@]}"; do
@@ -174,6 +212,8 @@ fi
         fi
     done
     echo "  ],"
+    echo "  \"failed\": ${#FAILED[@]},"
+    echo "  \"degraded\": ${#DEGRADED[@]},"
     echo "  \"total_seconds\": $TOTAL_SECONDS,"
     echo "  \"serial_total_seconds\": $SERIAL_SECONDS,"
     echo "  \"speedup\": $SPEEDUP"
@@ -215,8 +255,17 @@ PYEOF
 fi
 
 echo
-echo "all benchmarks completed in ${TOTAL_SECONDS}s" \
+echo "sweep finished in ${TOTAL_SECONDS}s" \
      "(jobs=$JOBS; timings: build/$SWEEP_JSON)"
 if [ "$COMPARE_SERIAL" -eq 1 ]; then
     echo "serial reference: ${SERIAL_SECONDS}s -> speedup ${SPEEDUP}x"
 fi
+if [ "${#FAILED[@]}" -gt 0 ]; then
+    echo "failed benches: ${FAILED[*]}" >&2
+    exit 1
+fi
+if [ "${#DEGRADED[@]}" -gt 0 ]; then
+    echo "degraded benches: ${DEGRADED[*]}" >&2
+    exit 75
+fi
+echo "all benchmarks completed cleanly"

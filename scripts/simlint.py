@@ -39,6 +39,17 @@ comment on the same or the preceding line):
                         created ad hoc all over the codebase; a field
                         someone forgets to set must read 0, not
                         stack garbage.
+  signal-unsafe         non-async-signal-safe call (malloc/stdio/
+                        iostream/string/mutex/exit/throw...) inside a
+                        region bracketed by `// BEGIN
+                        signal-handler-context` and `// END
+                        signal-handler-context`. Code in such a region
+                        runs from the crash-dump signal handler
+                        (DESIGN.md §12), where POSIX allows only the
+                        async-signal-safe subset: raw write()/open()/
+                        close(), lock-free atomics and hand-rolled
+                        formatting. Anything that may take a lock or
+                        allocate can deadlock a dying process.
 
 When the libclang python bindings are importable the
 unordered-iteration and missing-field-init rules run on the AST
@@ -67,6 +78,9 @@ RULES = {
         "varies per run)",
     "missing-field-init":
         "scalar struct field without a default initializer",
+    "signal-unsafe":
+        "non-async-signal-safe call inside a signal-handler-context "
+        "region",
 }
 
 ALLOW_RE = re.compile(r"simlint:\s*allow\(([a-z-]+)\)")
@@ -85,6 +99,26 @@ ENTROPY_RE = re.compile(
 
 POINTER_KEY_RE = re.compile(
     r"\bstd::(?:map|set|multimap|multiset)\s*<[^,>]*\*")
+
+# Signal-handler-context region markers (crash-dump handler code).
+SIG_BEGIN_RE = re.compile(r"//\s*BEGIN signal-handler-context")
+SIG_END_RE = re.compile(r"//\s*END signal-handler-context")
+
+# The POSIX async-signal-safe list is a whitelist; flagging every
+# call outside it needs a type-aware engine, so this rule blacklists
+# the calls that actually appear in crash handlers in the wild:
+# allocation, stdio/iostream formatting, std::string construction,
+# locks, exceptions, and process-exit routines that run atexit hooks.
+SIGNAL_UNSAFE_RE = re.compile(
+    r"\b(?:malloc|calloc|realloc|free)\s*\(|"
+    r"\bnew\s+[A-Za-z_]|\bdelete\s|"
+    r"\b(?:printf|fprintf|sprintf|snprintf|puts|fputs|fopen|fclose|"
+    r"fwrite|fread|fflush|perror|syslog)\s*\(|"
+    r"\bstd::(?:cout|cerr|clog|string\b|ostringstream|stringstream|"
+    r"to_string|stoi|stoul|stoull|vector|function|"
+    r"mutex|lock_guard|unique_lock|scoped_lock|condition_variable)|"
+    r"\bthrow\s|"
+    r"\b(?:exit|abort|quick_exit)\s*\(")
 
 STRUCT_RE = re.compile(
     r"^\s*struct\s+(\w*(?:Packet|Flit|Config|Params|Fields|Shape))"
@@ -148,12 +182,23 @@ def lint_file(path, report):
 
     struct_depth = None  # brace depth inside a matched struct
     pending_struct = None
+    in_signal_ctx = False
 
     for idx, line in enumerate(lines):
         lineno = idx + 1
         stripped = line.strip()
+        if SIG_BEGIN_RE.search(line):
+            in_signal_ctx = True
+            continue
+        if SIG_END_RE.search(line):
+            in_signal_ctx = False
+            continue
         if stripped.startswith("//") or stripped.startswith("*"):
             continue
+
+        if in_signal_ctx and SIGNAL_UNSAFE_RE.search(line) \
+                and not allowed(lines, idx, "signal-unsafe"):
+            report(path, lineno, "signal-unsafe", stripped)
 
         for rx in iter_res:
             if rx.search(line) and not allowed(

@@ -76,9 +76,32 @@ ThreadPool::workerLoop(unsigned worker)
                 return; // stop_ set and nothing left to run
             task = std::move(queue_.front());
             queue_.pop_front();
+            ++running_;
         }
         task();
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            --running_;
+            if (running_ == 0 && queue_.empty())
+                idleCv_.notify_all();
+        }
     }
+}
+
+std::size_t
+ThreadPool::queueDepth() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return queue_.size();
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    idleCv_.wait(lk, [this]() {
+        return queue_.empty() && running_ == 0;
+    });
 }
 
 std::uint64_t

@@ -31,6 +31,29 @@
 namespace ocor
 {
 
+/**
+ * Cooperative cancellation flag shared between a supervisor and one
+ * task. The supervisor flips it (e.g. when a wall-clock deadline
+ * expires); the task polls it at safe points and winds down. Plain
+ * relaxed atomics: the flag carries no data, only the request.
+ */
+class CancelToken
+{
+  public:
+    void cancel() { flag_.store(true, std::memory_order_relaxed); }
+
+    bool
+    cancelled() const
+    {
+        return flag_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { flag_.store(false, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<bool> flag_{false};
+};
+
 /** Fixed-size FIFO task pool; joins all workers on destruction. */
 class ThreadPool
 {
@@ -93,6 +116,16 @@ class ThreadPool
         return tasksExecuted_.load(std::memory_order_relaxed);
     }
 
+    /** Tasks queued but not yet picked up by a worker. */
+    std::size_t queueDepth() const;
+
+    /**
+     * Block until the queue is empty and every worker is idle.
+     * Supervision/test hook; tasks submitted concurrently with the
+     * wait may extend it.
+     */
+    void waitIdle();
+
     /**
      * Worker count used when the caller does not choose one: the
      * OCOR_JOBS environment variable when set to a positive integer,
@@ -133,9 +166,11 @@ class ThreadPool
 
     void workerLoop(unsigned worker);
 
-    std::mutex mu_;
+    mutable std::mutex mu_;
     std::condition_variable cv_;
+    std::condition_variable idleCv_; ///< signalled when work drains
     std::deque<std::function<void()>> queue_;
+    unsigned running_ = 0; ///< tasks currently executing (mu_ held)
     bool stop_ = false;
     std::vector<std::thread> workers_;
 

@@ -188,6 +188,21 @@ class Tracer
     std::vector<TraceRecord> snapshot() const;
 
     /**
+     * Async-signal-safe ring access for the crash-dump handler:
+     * number of retained records, and record @p i oldest-first.
+     * Neither allocates, locks, or calls out; a handler reading a
+     * ring that is concurrently appended to may see one record torn,
+     * which a post-mortem consumer tolerates.
+     */
+    std::size_t ringCount() const { return ring_.size(); }
+
+    const TraceRecord &
+    ringRecord(std::size_t i) const
+    {
+        return ring_[(head_ + i) % ring_.size()];
+    }
+
+    /**
      * Chrome trace-event JSON (the `[{...},...]` array form), one
      * instant event per record except CS enter/exit, which become
      * B/E duration slices so Perfetto renders critical sections as

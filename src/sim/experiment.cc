@@ -1,6 +1,7 @@
 #include "sim/experiment.hh"
 
 #include "common/log.hh"
+#include "sim/crashdump.hh"
 #include "workload/synthetic.hh"
 
 namespace ocor
@@ -58,6 +59,9 @@ runOnce(const BenchmarkProfile &profile, const ExperimentConfig &exp,
     for (ThreadId t = 0; t < cfg.numThreads; ++t)
         programs.push_back(buildSyntheticProgram(wl, exp.seed, t));
 
+    // A crash inside run() dumps this exact configuration for
+    // --replay (no-op unless a crash handler is installed).
+    crashdump::RunScope scope(profile, exp, ocor_enabled);
     Simulator sim(cfg, std::move(programs), profile.traffic, opts);
     return sim.run();
 }

@@ -62,6 +62,11 @@ struct RunMetrics
     std::uint64_t unrecoverable = 0;
     bool hangDetected = false;          ///< progress watchdog fired
 
+    /** Cooperative cancellation (a supervision deadline) stopped the
+     * run early. Cancelled metrics are partial: they are never
+     * cached and never enter figure data. */
+    bool cancelled = false;
+
     // --- sums over threads ------------------------------------------
     std::uint64_t totalCompute() const;
     std::uint64_t totalCs() const;

@@ -1,19 +1,35 @@
 /**
  * @file
- * On-disk cache of experiment results.
+ * Journaled on-disk cache of experiment results.
  *
  * Several benches (Fig. 11, 12, 13, 14, Table 3) are different views
  * of the same 25-benchmark Original-vs-OCOR sweep; a full 64-core
- * run takes minutes, so results are memoized in a TSV file keyed by
- * every input that affects the outcome. Delete the file (default
- * `ocor_results.tsv` in the working directory) to force re-runs.
+ * run takes minutes, so results are memoized in an append-only TSV
+ * journal keyed by every input that affects the outcome. Delete the
+ * file (default `ocor_results.tsv` in the working directory) to force
+ * re-runs.
+ *
+ * The journal is crash-safe (DESIGN.md §12):
+ *  - a versioned header line identifies the format,
+ *  - every row carries a CRC32 stamp over its payload, so a torn or
+ *    bit-rotted row is detected instead of silently mis-parsed,
+ *  - appends are batched, written with POSIX I/O and fsync'd, so a
+ *    SIGKILL loses at most the last unflushed batch,
+ *  - a corrupt/torn *tail* is truncated on load (the journal heals
+ *    itself; a crash never makes the file unreadable), while corrupt
+ *    rows in the middle are skipped and counted in `parse_errors`,
+ *  - duplicate keys resolve last-write-wins, deterministically, and
+ *    compact() rewrites the journal via write-temp-then-atomic-rename
+ *    so readers never observe a half-written file,
+ *  - an advisory flock() serializes appends and compactions across
+ *    processes (`run_benches.sh --resume` relies on this).
  *
  * The cache is safe to hammer from many threads at once (the
  * parallel experiment engine does exactly that): lookups hit an
  * in-memory index loaded once from disk, concurrent get() calls for
  * the same key are deduplicated so each configuration is simulated
  * exactly once, and disk writes are batched and serialized so the
- * TSV never interleaves partial lines.
+ * journal never interleaves partial lines.
  */
 
 #ifndef OCOR_SIM_RESULT_CACHE_HH
@@ -28,6 +44,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/stats_registry.hh"
 #include "sim/experiment.hh"
 
 namespace ocor
@@ -52,14 +69,26 @@ CacheKey makeCacheKey(const BenchmarkProfile &profile,
                       const ExperimentConfig &exp, bool ocor_enabled);
 
 /**
- * TSV-backed, thread-safe memo of RunMetrics aggregates.
+ * Journaled, thread-safe memo of RunMetrics aggregates.
  *
- * Not copyable or movable (it owns a mutex and in-flight state);
- * benches hold one instance and share it across worker threads.
+ * Not copyable or movable (it owns a mutex, a file descriptor and
+ * in-flight state); benches hold one instance and share it across
+ * worker threads.
  */
 class ResultCache
 {
   public:
+    /** Journal format version written in the header line. */
+    static constexpr unsigned kFormatVersion = 2;
+
+    /** The header line (without newline) of a current journal. */
+    static const char *headerLine();
+
+    /**
+     * @p path journal file. An empty path (or "/dev/null") selects a
+     * purely in-memory cache: no journal is read or written, which
+     * is what `--fresh` uses.
+     */
     explicit ResultCache(std::string path = "ocor_results.tsv");
 
     /** Flushes any batched rows to disk. */
@@ -76,17 +105,28 @@ class ResultCache
      * entry point every bench binary uses. Safe to call from many
      * threads concurrently: losers of the in-flight race block until
      * the winner's simulation finishes, so a key is never simulated
-     * twice.
+     * twice. @p opts is forwarded to the simulation on a miss (the
+     * supervised runner threads its cancellation token through here);
+     * cancelled results are returned but never stored.
      */
     RunMetrics get(const BenchmarkProfile &profile,
-                   const ExperimentConfig &exp, bool ocor_enabled);
+                   const ExperimentConfig &exp, bool ocor_enabled,
+                   Simulator::Options opts = {});
 
     /** Paired Original/OCOR result through the cache. */
     BenchmarkResult getComparison(const BenchmarkProfile &profile,
                                   const ExperimentConfig &exp);
 
-    /** Write any batched rows to the TSV now. */
+    /** Durably write any batched rows to the journal now (append +
+     * fsync under the advisory file lock). */
     void flush();
+
+    /**
+     * Rewrite the journal as header + one row per live key (sorted,
+     * deduplicated) via write-temp-then-atomic-rename. Also the
+     * migration path for headerless v1 files.
+     */
+    void compact();
 
     /** Simulations actually executed by get() (cache misses). */
     std::uint64_t simulationsRun() const
@@ -94,26 +134,67 @@ class ResultCache
         return simulationsRun_.load(std::memory_order_relaxed);
     }
 
+    /** Rows successfully loaded from the journal at open. */
+    std::uint64_t rowsLoaded() const;
+
+    /** Rows that failed CRC/parse validation and were skipped. */
+    std::uint64_t parseErrors() const;
+
+    /** Times a torn/corrupt tail was truncated on load. */
+    std::uint64_t tailTruncations() const;
+
+    /** Bytes dropped by tail truncation. */
+    std::uint64_t truncatedBytes() const;
+
+    /** Compactions performed (including v1 migrations). */
+    std::uint64_t compactions() const;
+
+    /** Keys currently resident (disk + this process). */
+    std::size_t size() const;
+
+    /**
+     * Register journal health counters under dotted names
+     * ("<prefix>.parse_errors", "<prefix>.rows_loaded", ...). The
+     * registry stores pointers into this cache, so it must not
+     * outlive it.
+     */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix = "cache");
+
     const std::string &path() const { return path_; }
 
   private:
-    /** Load the TSV into the in-memory index (once; mu_ held). */
+    /** Load the journal into the in-memory index (once; mu_ held). */
     void loadLocked() const;
-    /** Append pending rows to the TSV (mu_ held). */
+    /** Append pending rows to the journal (mu_ held). */
     void flushLocked();
+    /** compact() body (mu_ held). */
+    void compactLocked();
+    /** Open (lazily) the append fd; returns -1 on failure. */
+    int appendFdLocked();
 
     /** Rows buffered before this many stores hit the disk. */
     static constexpr std::size_t kFlushBatch = 16;
 
     std::string path_;
+    bool ephemeral_ = false; ///< no journal (empty path, /dev/null)
 
     mutable std::mutex mu_;
     mutable bool loaded_ = false;
+    mutable bool legacy_ = false; ///< v1 file: compact on first flush
+    mutable int fd_ = -1;         ///< append descriptor (lazy)
     mutable std::unordered_map<std::string, RunMetrics> mem_;
     std::vector<std::string> pending_;
     std::unordered_map<std::string, std::shared_future<RunMetrics>>
         inflight_;
     std::atomic<std::uint64_t> simulationsRun_{0};
+
+    // Journal health (see registerStats).
+    mutable std::uint64_t rowsLoaded_ = 0;
+    mutable std::uint64_t parseErrors_ = 0;
+    mutable std::uint64_t tailTruncations_ = 0;
+    mutable std::uint64_t truncatedBytes_ = 0;
+    std::uint64_t compactions_ = 0;
 };
 
 } // namespace ocor

@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "common/log.hh"
+#include "common/thread_pool.hh"
+#include "sim/crashdump.hh"
 
 namespace ocor
 {
@@ -25,6 +27,18 @@ Simulator::Simulator(const SystemConfig &cfg,
     }
     if (opts_.telemetryInterval > 0)
         telemetry_ = TelemetryRecorder(opts_.telemetryInterval);
+    // Traced runs publish their ring to the crash-dump handler so a
+    // fatal signal dumps the last events. One tracer at a time
+    // (last wins) -- exactly the single-simulator tracing setup the
+    // observability benches use.
+    if (system_->tracer())
+        crashdump::setTracer(system_->tracer());
+}
+
+Simulator::~Simulator()
+{
+    if (system_ && system_->tracer())
+        crashdump::setTracer(nullptr);
 }
 
 void
@@ -176,6 +190,20 @@ Simulator::run()
         }
         if (system_->allFinished())
             break;
+        // Cooperative cancellation (supervision deadline), polled at
+        // the same coarse stride as the watchdog so the unsupervised
+        // loop stays bit-identical and cheap.
+        if (opts_.cancel && (now_ & 0x7ff) == 0 &&
+            opts_.cancel->cancelled()) {
+            cancelled_ = true;
+            if (tr)
+                tr->record(TraceCat::Sim, TraceEv::WatchdogFired,
+                           now_, invalidNode, invalidThread, 0, 0,
+                           1 /* a0 = cancelled, not wedged */);
+            ocor_warn("run cancelled by supervisor at cycle %llu",
+                      static_cast<unsigned long long>(now_));
+            break;
+        }
         // Forward-progress watchdog, checked at a coarse stride so
         // the fault-free loop stays cheap.
         if (cfg_.progressWindow > 0 && (now_ & 0x7ff) == 0) {
@@ -199,7 +227,7 @@ Simulator::run()
             }
         }
     }
-    if (!hangDetected_ && now_ >= cfg_.maxCycles)
+    if (!hangDetected_ && !cancelled_ && now_ >= cfg_.maxCycles)
         ocor_warn("simulation hit maxCycles (%llu) before finishing",
                   static_cast<unsigned long long>(cfg_.maxCycles));
 
@@ -251,6 +279,7 @@ Simulator::run()
     }
     m.watchdogRecoveries = system_->watchdogRecoveries();
     m.hangDetected = hangDetected_;
+    m.cancelled = cancelled_;
     return m;
 }
 

@@ -20,6 +20,8 @@
 namespace ocor
 {
 
+class CancelToken;
+
 /**
  * One-cycle memo of lockHolderInCs verdicts, keyed by lock word.
  *
@@ -81,6 +83,14 @@ struct SimOptions
     /** Break run() wall time down by phase (tick vs accounting).
      * Adds two clock reads per cycle, so it is opt-in. */
     bool profileWall = false;
+
+    /**
+     * Cooperative cancellation: when non-null, run() polls the token
+     * at the (coarse) watchdog stride and winds down early with
+     * RunMetrics::cancelled set once it fires. Null (the default)
+     * keeps the loop bit-identical to an unsupervised run.
+     */
+    const CancelToken *cancel = nullptr;
 };
 
 /** Host wall-clock cost of one run() (never enters sim results). */
@@ -100,6 +110,10 @@ class Simulator
 
     Simulator(const SystemConfig &cfg, std::vector<Program> programs,
               const BgTrafficConfig &bg, Options opts = {});
+
+    /** Detaches the tracer from the crash-dump handler (if this
+     * instance attached it). */
+    ~Simulator();
 
     /**
      * Run until every thread finishes (or maxCycles). Returns the
@@ -155,6 +169,7 @@ class Simulator
     WallProfile wall_;
     Cycle now_ = 0;
     bool hangDetected_ = false;
+    bool cancelled_ = false;
     std::string hangDiagnosis_;
 
     /** Per-cycle lockHolderInCs memo (reset each cycle). */

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Kill-resume integration test (DESIGN.md section 12).
+
+Drives a real sweep binary (fig11_coh) through a crash-recovery
+cycle:
+
+ 1. run the sweep to completion in a clean directory -> reference
+    journal,
+ 2. start the same sweep in a second directory and SIGKILL it
+    mid-run,
+ 3. restart it (the resume path: the journal recalls every durable
+    row and re-simulates only what was lost),
+ 4. assert the resumed journal is row-for-row identical to the
+    uninterrupted reference (sorted: append order legitimately
+    depends on worker scheduling).
+
+Because every simulation is bit-identical given (config, seed), any
+difference between the two journals means the crash corrupted state.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+JOURNAL = "ocor_results.tsv"
+ARGS = ["--threads", "4", "--iters", "2", "--seed", "5",
+        "--jobs", "2"]
+
+
+def run_sweep(bench, cwd, timeout=600):
+    return subprocess.run(
+        [bench] + ARGS, cwd=cwd, timeout=timeout,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+
+def journal_rows(cwd):
+    path = os.path.join(cwd, JOURNAL)
+    with open(path, "r", encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    if not lines or not lines[0].startswith("#ocor-results"):
+        raise AssertionError(f"{path}: missing journal header")
+    rows = [ln for ln in lines[1:] if ln]
+    # Resolve duplicate keys last-write-wins, exactly like the
+    # loader, so a benign re-append never fails the comparison.
+    by_key = {}
+    for ln in rows:
+        payload = ln.split("\t", 1)[1]  # drop the CRC stamp
+        key = "\t".join(payload.split("\t")[:7])
+        by_key[key] = ln
+    return sorted(by_key.values())
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: kill_resume_test.py <fig11_coh-binary>")
+        return 2
+    bench = os.path.abspath(sys.argv[1])
+
+    with tempfile.TemporaryDirectory(prefix="ocor_kill_") as tmp:
+        ref_dir = os.path.join(tmp, "reference")
+        kill_dir = os.path.join(tmp, "killed")
+        os.mkdir(ref_dir)
+        os.mkdir(kill_dir)
+
+        # 1. Uninterrupted reference run (also calibrates timing).
+        t0 = time.monotonic()
+        res = run_sweep(bench, ref_dir)
+        ref_seconds = time.monotonic() - t0
+        if res.returncode != 0:
+            print(f"FAIL: reference run exited {res.returncode}")
+            return 1
+        reference = journal_rows(ref_dir)
+        if not reference:
+            print("FAIL: reference journal is empty")
+            return 1
+
+        # 2. SIGKILL the same sweep mid-run. Aim for the middle of
+        # the reference duration; SIGKILL gives the process zero
+        # chance to flush or clean up -- the worst crash there is.
+        proc = subprocess.Popen(
+            [bench] + ARGS, cwd=kill_dir,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        try:
+            proc.wait(timeout=max(0.05, ref_seconds * 0.5))
+            print("note: sweep finished before the kill "
+                  "(fast machine); resume degenerates to a no-op")
+        except subprocess.TimeoutExpired:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait()
+
+        # 3. Resume: the journal recalls every durable row; torn
+        # tails are healed on load.
+        res = run_sweep(bench, kill_dir)
+        if res.returncode != 0:
+            print(f"FAIL: resumed run exited {res.returncode}")
+            return 1
+
+        # 4. Field-exact equality with the uninterrupted journal.
+        resumed = journal_rows(kill_dir)
+        if resumed != reference:
+            missing = set(reference) - set(resumed)
+            extra = set(resumed) - set(reference)
+            print(f"FAIL: resumed journal differs from reference "
+                  f"({len(missing)} missing, {len(extra)} extra)")
+            for ln in sorted(missing)[:5]:
+                print("  missing:", ln)
+            for ln in sorted(extra)[:5]:
+                print("  extra:  ", ln)
+            return 1
+
+        print(f"PASS: {len(reference)} rows identical after "
+              f"kill + resume")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

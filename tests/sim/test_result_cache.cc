@@ -125,11 +125,16 @@ TEST_F(ResultCacheTest, PrePercentileSchemaLinesAreMisses)
         cache.store(sampleKey(), sampleMetrics());
         cache.flush();
     }
-    // Strip the last 6 columns to fake the old schema.
+    // Fake a legacy (headerless, CRC-less) file whose row predates
+    // the percentile columns: strip the v2 header, the CRC stamp and
+    // the last 6 columns.
     std::ifstream in(path_);
-    std::string line;
+    std::string header, line;
+    ASSERT_TRUE(std::getline(in, header));
+    ASSERT_EQ(header, std::string(ResultCache::headerLine()));
     ASSERT_TRUE(std::getline(in, line));
     in.close();
+    line.erase(0, line.find('\t') + 1); // CRC stamp
     for (int i = 0; i < 6; ++i)
         line.erase(line.find_last_of('\t'));
     std::ofstream out(path_, std::ios::trunc);
@@ -224,15 +229,22 @@ TEST_F(ResultCacheTest, ConcurrentGetSimulatesEachKeyOnce)
     EXPECT_EQ(cache.simulationsRun(), 4u);
 
     cache.flush();
-    // The TSV must hold exactly one uncorrupted line per key.
+    // The journal must hold exactly one uncorrupted row per key
+    // (plus the format header).
     std::ifstream in(path_);
     ASSERT_TRUE(in.is_open());
     std::string line;
-    unsigned lines = 0;
-    while (std::getline(in, line))
-        if (!line.empty())
-            ++lines;
-    EXPECT_EQ(lines, 4u);
+    unsigned header = 0, rows = 0;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        if (line[0] == '#')
+            ++header;
+        else
+            ++rows;
+    }
+    EXPECT_EQ(header, 1u);
+    EXPECT_EQ(rows, 4u);
     ResultCache fresh(path_);
     for (const auto &p : profiles) {
         for (bool ocor : {false, true}) {
