@@ -12,6 +12,13 @@
  *   --fresh       ignore the result cache for this invocation
  *   --jobs N      simulations run concurrently (default: OCOR_JOBS
  *                 env var, else hardware concurrency)
+ *   --fidelity M  simulation fidelity: "exact" (default, bit-exact
+ *                 microarchitectural NoC) or "hybrid" (analytic NoC
+ *                 fast path during uncontended windows; approximate,
+ *                 cached under separate keys — DESIGN.md §13)
+ *   --legacy-tick run on the legacy unconditional per-cycle tick loop
+ *                 instead of the event-driven core (bit-identical
+ *                 results, slower; for benchmarking the event core)
  *
  * Observability flags (all off by default; see DESIGN.md §10):
  *   --trace[=CATS]          enable event tracing for the categories
@@ -74,6 +81,7 @@ struct Options
     std::uint64_t seed = 1;
     bool fresh = false;
     unsigned jobs = 0; ///< 0 = ThreadPool::defaultConcurrency()
+    Fidelity fidelity = Fidelity::Exact;
 
     // --- observability (every knob off/empty by default) -----------
     std::string traceCats;      ///< "" = tracing off
@@ -131,6 +139,7 @@ struct Options
         exp.iterationsOverride = iterations;
         exp.seed = seed;
         exp.check.checks = checkMask();
+        exp.fidelity = fidelity;
         return exp;
     }
 };
@@ -220,6 +229,19 @@ parseOptions(int argc, char **argv)
             opt.threads = 16;
         else if (a == "--fresh")
             opt.fresh = true;
+        else if (valueOf("--fidelity", v)) {
+            if (v == "exact")
+                opt.fidelity = Fidelity::Exact;
+            else if (v == "hybrid")
+                opt.fidelity = Fidelity::Hybrid;
+            else {
+                std::fprintf(stderr,
+                             "--fidelity must be \"exact\" or "
+                             "\"hybrid\" (got \"%s\")\n", v.c_str());
+                std::exit(1);
+            }
+        } else if (a == "--legacy-tick")
+            Simulator::setDefaultCoreMode(SimCoreMode::Legacy);
         else if (a == "--jobs")
             opt.jobs = static_cast<unsigned>(std::atoi(next()));
         else if (a == "--trace")
@@ -257,6 +279,7 @@ parseOptions(int argc, char **argv)
                          "unknown flag %s\n"
                          "usage: %s [--threads N] [--iters N] "
                          "[--seed N] [--quick] [--fresh] "
+                         "[--fidelity exact|hybrid] [--legacy-tick] "
                          "[--jobs N] [--trace[=CATS]] "
                          "[--trace-out FILE] [--stats-json FILE] "
                          "[--telemetry-interval N] "

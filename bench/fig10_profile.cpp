@@ -60,8 +60,12 @@ computeRun(const BenchmarkProfile &profile, const Options &opt,
     SimOptions sim_opts;
     sim_opts.timelineHorizon = kHorizon;
     sim_opts.timelineThreads = 16;
-    if (observe)
+    if (observe) {
         sim_opts.telemetryInterval = opt.telemetryInterval;
+        // The stats dump carries sim.wall.* (tick vs accounting vs
+        // event scheduling); the phase split needs the profiler on.
+        sim_opts.profileWall = !opt.statsJson.empty();
+    }
     Simulator sim(cfg, std::move(programs), profile.traffic,
                   sim_opts);
     ProfileRun run;
@@ -73,7 +77,7 @@ computeRun(const BenchmarkProfile &profile, const Options &opt,
             writeTrace(*tr, opt.traceOut);
         if (!opt.statsJson.empty()) {
             StatsRegistry reg;
-            sim.system().registerStats(reg);
+            sim.registerStats(reg);
             std::ofstream out = openArtifact(opt.statsJson);
             reg.dumpJson(out);
             std::printf("stats: %zu entries -> %s\n", reg.size(),

@@ -13,6 +13,13 @@
 #                     (16 threads, short runs; CI smoke mode)
 #   --compare-serial  first run the sweep with --jobs 1 --fresh, then
 #                     with --jobs N --fresh, and report the speedup
+#   --compare-event   first run the sweep on the legacy per-cycle core
+#                     (--legacy-tick --fresh), then on the event core
+#                     (--fresh); each bench row in BENCH_sweep.json
+#                     gains legacy_seconds / event_speedup, and a
+#                     final hybrid-fidelity leg (fig11 with
+#                     --fidelity hybrid) records the analytic fast
+#                     path's speedup over the exact event core
 #   --observe         turn the observability stack on for the sweep
 #                     (DESIGN.md §10): fig10 exports an event trace
 #                     (build/trace.json), a stats-registry dump
@@ -42,6 +49,7 @@ cd "$(dirname "$SELF")/build"
 JOBS="${OCOR_JOBS:-$(nproc)}"
 QUICK=0
 COMPARE_SERIAL=0
+COMPARE_EVENT=0
 OBSERVE=0
 RESUME=0
 EXTRA=()
@@ -51,6 +59,7 @@ while [ $# -gt 0 ]; do
       --jobs=*) JOBS="${1#--jobs=}"; shift ;;
       --quick) QUICK=1; shift ;;
       --compare-serial) COMPARE_SERIAL=1; shift ;;
+      --compare-event) COMPARE_EVENT=1; shift ;;
       --observe) OBSERVE=1; shift ;;
       --resume) RESUME=1; shift ;;
       -h|--help)
@@ -60,9 +69,15 @@ while [ $# -gt 0 ]; do
     esac
 done
 
-if [ "$RESUME" -eq 1 ] && [ "$COMPARE_SERIAL" -eq 1 ]; then
-    echo "error: --resume and --compare-serial are mutually" \
-         "exclusive (--compare-serial forces --fresh)" >&2
+if [ "$RESUME" -eq 1 ] \
+   && { [ "$COMPARE_SERIAL" -eq 1 ] || [ "$COMPARE_EVENT" -eq 1 ]; }
+then
+    echo "error: --resume is mutually exclusive with the compare" \
+         "modes (they force --fresh)" >&2
+    exit 1
+fi
+if [ "$COMPARE_SERIAL" -eq 1 ] && [ "$COMPARE_EVENT" -eq 1 ]; then
+    echo "error: pick one of --compare-serial / --compare-event" >&2
     exit 1
 fi
 if [ "$RESUME" -eq 1 ]; then
@@ -92,6 +107,8 @@ RECORD=1
 ROWS=()
 FAILED=()
 DEGRADED=()
+declare -A LEGACY_BY_BENCH  # per-bench legacy-core reference seconds
+declare -A MAIN_BY_BENCH    # per-bench recorded-pass seconds
 
 elapsed() { # elapsed <t0> <t1>
     awk -v a="$1" -v b="$2" 'BEGIN { printf "%.3f", b - a }'
@@ -118,8 +135,20 @@ run_bench() { # run_bench <label> <cmd...>
     esac
     echo "### $label: ${dt}s ($verdict)"
     if [ "$RECORD" -eq 1 ]; then
+        MAIN_BY_BENCH[$label]="$dt"
+        local extra_fields=""
+        local leg="${LEGACY_BY_BENCH[$label]:-}"
+        if [ -n "$leg" ]; then
+            local sp
+            sp=$(awk -v l="$leg" -v e="$dt" \
+                'BEGIN { printf "%.2f", (e > 0 ? l / e : 0) }')
+            extra_fields=", \"legacy_seconds\": $leg,"
+            extra_fields+=" \"event_speedup\": $sp"
+        fi
         ROWS+=("    {\"name\": \"$label\", \"seconds\": $dt,"\
-" \"status\": \"$verdict\", \"exit_code\": $status}")
+" \"status\": \"$verdict\", \"exit_code\": $status$extra_fields}")
+    elif [ "$COMPARE_EVENT" -eq 1 ]; then
+        LEGACY_BY_BENCH[$label]="$dt"
     fi
 }
 
@@ -159,6 +188,8 @@ sweep() { # sweep <jobs> [extra sim flags...]
         ./bench/micro_router --benchmark_min_time=0.05
     run_bench micro_sim_tick \
         ./bench/micro_sim_tick --benchmark_min_time=0.05
+    run_bench micro_event_queue \
+        ./bench/micro_event_queue --benchmark_min_time=0.05
 }
 
 SERIAL_SECONDS=null
@@ -174,8 +205,21 @@ if [ "$COMPARE_SERIAL" -eq 1 ]; then
     echo "==== parallel pass: --jobs $JOBS --fresh ===="
 fi
 
+LEGACY_SECONDS=null
+if [ "$COMPARE_EVENT" -eq 1 ]; then
+    echo "==== legacy-core reference pass: --legacy-tick --fresh ===="
+    RECORD=0
+    t0=$(date +%s.%N)
+    sweep "$JOBS" --fresh --legacy-tick
+    t1=$(date +%s.%N)
+    LEGACY_SECONDS=$(elapsed "$t0" "$t1")
+    RECORD=1
+    echo
+    echo "==== event-core pass: --jobs $JOBS --fresh ===="
+fi
+
 t0=$(date +%s.%N)
-if [ "$COMPARE_SERIAL" -eq 1 ]; then
+if [ "$COMPARE_SERIAL" -eq 1 ] || [ "$COMPARE_EVENT" -eq 1 ]; then
     sweep "$JOBS" --fresh
 else
     sweep "$JOBS"
@@ -187,6 +231,35 @@ SPEEDUP=null
 if [ "$COMPARE_SERIAL" -eq 1 ]; then
     SPEEDUP=$(awk -v s="$SERIAL_SECONDS" -v p="$TOTAL_SECONDS" \
         'BEGIN { printf "%.2f", s / p }')
+fi
+
+EVENT_SPEEDUP=null
+HYBRID_ROW=null
+if [ "$COMPARE_EVENT" -eq 1 ]; then
+    EVENT_SPEEDUP=$(awk -v l="$LEGACY_SECONDS" -v e="$TOTAL_SECONDS" \
+        'BEGIN { printf "%.2f", l / e }')
+    # Hybrid-fidelity leg: the full 25-profile suite (fig11) once
+    # more with the analytic NoC fast path on. Approximate results,
+    # so it never shares the cache with the exact legs (--fresh, and
+    # distinctly-keyed anyway); its value here is the wall-clock
+    # ratio against the exact event-core pass just measured.
+    hf=(--jobs "$JOBS")
+    if [ "$QUICK" -eq 1 ]; then hf+=(--quick); fi
+    RECORD=0
+    hyb_t0=$(date +%s.%N)
+    run_bench fig11_coh_hybrid \
+        ./bench/fig11_coh "${hf[@]}" --fresh --fidelity hybrid \
+        "${EXTRA[@]}"
+    hyb_t1=$(date +%s.%N)
+    RECORD=1
+    HYBRID_SECONDS=$(elapsed "$hyb_t0" "$hyb_t1")
+    HYBRID_SPEEDUP=$(awk -v e="${MAIN_BY_BENCH[fig11_coh]:-0}" \
+        -v h="$HYBRID_SECONDS" \
+        'BEGIN { printf "%.2f", (h > 0 ? e / h : 0) }')
+    HYBRID_ROW="{\"bench\": \"fig11_coh\", \"seconds\":"
+    HYBRID_ROW+=" $HYBRID_SECONDS, \"exact_event_seconds\":"
+    HYBRID_ROW+=" ${MAIN_BY_BENCH[fig11_coh]:-null},"
+    HYBRID_ROW+=" \"speedup_vs_event\": $HYBRID_SPEEDUP}"
 fi
 
 {
@@ -216,7 +289,10 @@ fi
     echo "  \"degraded\": ${#DEGRADED[@]},"
     echo "  \"total_seconds\": $TOTAL_SECONDS,"
     echo "  \"serial_total_seconds\": $SERIAL_SECONDS,"
-    echo "  \"speedup\": $SPEEDUP"
+    echo "  \"speedup\": $SPEEDUP,"
+    echo "  \"legacy_total_seconds\": $LEGACY_SECONDS,"
+    echo "  \"event_speedup\": $EVENT_SPEEDUP,"
+    echo "  \"hybrid\": $HYBRID_ROW"
     echo "}"
 } > "$SWEEP_JSON"
 
@@ -259,6 +335,12 @@ echo "sweep finished in ${TOTAL_SECONDS}s" \
      "(jobs=$JOBS; timings: build/$SWEEP_JSON)"
 if [ "$COMPARE_SERIAL" -eq 1 ]; then
     echo "serial reference: ${SERIAL_SECONDS}s -> speedup ${SPEEDUP}x"
+fi
+if [ "$COMPARE_EVENT" -eq 1 ]; then
+    echo "legacy-core reference: ${LEGACY_SECONDS}s ->" \
+         "event-core speedup ${EVENT_SPEEDUP}x;" \
+         "hybrid fig11: ${HYBRID_SECONDS}s" \
+         "(${HYBRID_SPEEDUP}x vs exact event)"
 fi
 if [ "${#FAILED[@]}" -gt 0 ]; then
     echo "failed benches: ${FAILED[*]}" >&2

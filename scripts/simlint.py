@@ -39,6 +39,16 @@ comment on the same or the preceding line):
                         created ad hoc all over the codebase; a field
                         someone forgets to set must read 0, not
                         stack garbage.
+  unconditional-tick    range-for whose body ticks every element of a
+                        component container unconditionally
+                        (`x->tick(now)` with no guard). The simulator
+                        is event-driven (DESIGN.md §13): a per-cycle
+                        for-all-components loop silently re-introduces
+                        the O(components) cost the event core removes.
+                        Gate the call on `nextWake() <= now` (see
+                        System::tickEvent) or schedule through the
+                        event wheel; the legacy exact path carries
+                        explicit allow annotations.
   signal-unsafe         non-async-signal-safe call (malloc/stdio/
                         iostream/string/mutex/exit/throw...) inside a
                         region bracketed by `// BEGIN
@@ -78,6 +88,9 @@ RULES = {
         "varies per run)",
     "missing-field-init":
         "scalar struct field without a default initializer",
+    "unconditional-tick":
+        "per-cycle for-all-components tick loop (defeats the "
+        "event-driven core's gating; guard on nextWake() <= now)",
     "signal-unsafe":
         "non-async-signal-safe call inside a signal-handler-context "
         "region",
@@ -99,6 +112,14 @@ ENTROPY_RE = re.compile(
 
 POINTER_KEY_RE = re.compile(
     r"\bstd::(?:map|set|multimap|multiset)\s*<[^,>]*\*")
+
+# Range-for over a container; group 3 is any body on the same line.
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*:[^)]*\)\s*(.*)$")
+
+# First body statement that ticks an element with no guard around it.
+# `tickEvent(` deliberately does not match: that is the gated entry
+# point (it performs its own per-component due checks).
+TICK_CALL_RE = re.compile(r"^\s*\{?\s*\w+(?:->|\.)tick\s*\(")
 
 # Signal-handler-context region markers (crash-dump handler code).
 SIG_BEGIN_RE = re.compile(r"//\s*BEGIN signal-handler-context")
@@ -212,6 +233,25 @@ def lint_file(path, report):
         if POINTER_KEY_RE.search(line) and not allowed(
                 lines, idx, "pointer-keyed-order"):
             report(path, lineno, "pointer-keyed-order", stripped)
+
+        fm_for = RANGE_FOR_RE.search(line)
+        if fm_for and not allowed(lines, idx, "unconditional-tick"):
+            body = fm_for.group(1)
+            if not body:
+                # Body starts on a following line; skip blanks,
+                # comments and a lone opening brace to the first
+                # statement.
+                j = idx + 1
+                while j < len(lines):
+                    nxt = lines[j].strip()
+                    if nxt and nxt != "{" \
+                            and not nxt.startswith("//") \
+                            and not nxt.startswith("*"):
+                        body = nxt
+                        break
+                    j += 1
+            if body and TICK_CALL_RE.match(body):
+                report(path, lineno, "unconditional-tick", stripped)
 
         # --- struct field tracking ---------------------------------
         sm = STRUCT_RE.match(line)

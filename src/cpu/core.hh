@@ -68,6 +68,30 @@ class Core
     {
         return pcb_.state == ThreadState::Finished;
     }
+
+    /**
+     * Earliest cycle tick() would do any work; may be in the past
+     * (overdue = due immediately; the event core clamps). Mirrors
+     * tick()/step()'s guards: background traffic fires only while
+     * the thread is on the core (Running / InCS — a foreground
+     * memory stall keeps the state Running, so bg still fires), and
+     * step() runs only when not waiting and past busyUntil_. While
+     * waiting, progress arrives via L1/qspinlock callbacks, which
+     * run in earlier tick slots of the same cycle.
+     */
+    Cycle
+    nextWake() const
+    {
+        if (pcb_.state == ThreadState::Finished)
+            return neverCycle;
+        Cycle w = neverCycle;
+        if (bg_.rate > 0 && (pcb_.state == ThreadState::Running ||
+                             pcb_.state == ThreadState::InCS))
+            w = nextBg_;
+        if (!waitingMem_ && !waitingLock_ && busyUntil_ < w)
+            w = busyUntil_;
+        return w;
+    }
     Cycle finishCycle() const { return finishCycle_; }
     const CoreStats &stats() const { return stats_; }
     const Program &program() const { return program_; }

@@ -65,6 +65,17 @@ class L1Cache
     void tick(Cycle now);
 
     bool idle() const { return mshrs_.empty() && delayed_.empty(); }
+
+    /**
+     * Earliest cycle tick() would do any work (neverCycle = none).
+     * delayed_ is a FIFO of constant-latency completions, so its
+     * front is the minimum. Outstanding MSHRs carry no timer — their
+     * progress arrives as handle() traffic, not tick() work.
+     */
+    Cycle nextWake() const
+    {
+        return delayed_.empty() ? neverCycle : delayed_.front().first;
+    }
     std::size_t outstanding() const { return mshrs_.size(); }
     const L1Stats &stats() const { return stats_; }
 

@@ -60,6 +60,15 @@ class L2Directory
     void tick(Cycle now);
 
     bool idle() const;
+
+    /** Earliest cycle tick() would do any work (neverCycle = none):
+     * delayed_ is a constant-latency FIFO, so its front is minimal.
+     * Directory transactions advance via handle(), not tick(). */
+    Cycle nextWake() const
+    {
+        return delayed_.empty() ? neverCycle : delayed_.front().first;
+    }
+
     const L2Stats &stats() const { return stats_; }
 
     /** White-box inspection for tests. */

@@ -43,6 +43,16 @@ class MemController
     void tick(Cycle now);
 
     bool idle() const { return inService_.empty(); }
+
+    /** Earliest cycle tick() would do any work (neverCycle = none):
+     * service start times are monotone (max(now, nextStart_)), so
+     * completion cycles are FIFO-ordered. */
+    Cycle nextWake() const
+    {
+        return inService_.empty() ? neverCycle
+                                  : inService_.front().first;
+    }
+
     const McStats &stats() const { return stats_; }
 
   private:

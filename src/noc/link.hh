@@ -64,6 +64,22 @@ class Link
     unsigned latency() const { return latency_; }
     bool idle() const { return flits_.empty() && credits_.empty(); }
 
+    /**
+     * O(1) event-core due tests. Arrival cycles are monotone within
+     * each queue (sendFlit keeps them strictly increasing even under
+     * fault jitter; credits are stamped now + latency with monotone
+     * now), so the front entry is the earliest and a front check is
+     * exact, not heuristic.
+     */
+    bool flitDue(Cycle now) const
+    {
+        return !flits_.empty() && flits_.front().first <= now;
+    }
+    bool creditDue(Cycle now) const
+    {
+        return !credits_.empty() && credits_.front().first <= now;
+    }
+
     /** Flits ever put on the wire (dropped ones included): the
      * utilization numerator sampled by interval telemetry. */
     std::uint64_t flitsCarried() const { return flitsCarried_; }

@@ -7,6 +7,7 @@
 #define OCOR_NOC_NETWORK_HH
 
 #include <memory>
+#include <queue>
 #include <vector>
 
 #include "common/stats.hh"
@@ -32,6 +33,10 @@ struct NetworkStats
     SampleStat packetLatency;      ///< inject -> eject, all packets
     SampleStat lockPacketLatency;  ///< lock-protocol packets only
     SampleStat dataPacketLatency;  ///< everything else
+
+    /** Packets delivered by the hybrid-fidelity analytic fast path
+     * instead of per-flit mesh transport (0 under exact fidelity). */
+    std::uint64_t fastpathPackets = 0;
     /** Latency distributions feeding p50/p95/p99 reporting. Bucket
      * width 2 cycles x 256 buckets covers [0, 512); longer transits
      * land in the explicit overflow bucket. */
@@ -62,8 +67,58 @@ class Network
 
     void tick(Cycle now);
 
+    /**
+     * Event-core variant of tick(): same router-then-NI walk order,
+     * but each router and NI is entered through its own gated
+     * tickEvent so fully idle nodes cost a handful of compares
+     * instead of full allocation-stage scans. Bit-identical to
+     * tick() by construction (every elided stage is a provable
+     * no-op).
+     */
+    void tickEvent(Cycle now);
+
+    /**
+     * Earliest future cycle tick() could do any work, seen from
+     * cycle @p now (neverCycle = fully drained). While any router
+     * buffers a flit or any link carries a flit/credit the answer is
+     * conservatively now + 1 (pipeline stages advance every cycle);
+     * otherwise only NI-local queues can create work, and their
+     * per-NI minima apply. Never returns a cycle <= now.
+     */
+    Cycle nextWake(Cycle now) const;
+
     /** All buffers and links empty (drain check). */
     bool idle() const;
+
+    /**
+     * Arm the hybrid-fidelity fast path. @p waiters points at the
+     * System's live count of threads waiting on any lock word; while
+     * it reads zero, send() delivers non-lock-protocol packets with
+     * the analytic latency model instead of injecting flits. The
+     * moment a waiter appears, new sends fall back to exact per-flit
+     * transport (in-flight analytic deliveries still complete on
+     * their scheduled cycle). Null (the default) disables the fast
+     * path entirely — the exact-fidelity configuration.
+     */
+    void setFastpath(const unsigned *waiters)
+    {
+        fastWaiters_ = waiters;
+    }
+
+    /**
+     * Hybrid-fidelity latency estimate for @p pkt: NI entry/exit,
+     * per-hop pipeline + link traversal, body-flit serialization and
+     * a load-proportional contention term derived from the number of
+     * concurrently in-flight fast-path packets. Deterministic given
+     * the simulation state. Exposed for tests and calibration.
+     */
+    Cycle analyticLatency(const Packet &pkt) const;
+
+    /** The load-independent part of analyticLatency(): NI entry/exit,
+     * per-hop pipeline + link traversal and body-flit serialization
+     * (1 for same-node loopback). Also the re-transit budget used
+     * when pending analytic deliveries are reified into the mesh. */
+    Cycle uncontendedLatency(const Packet &pkt) const;
 
     NetworkInterface &ni(NodeId n) { return *nis_[n]; }
     Router &router(NodeId n) { return *routers_[n]; }
@@ -90,6 +145,9 @@ class Network
     const Link &link(unsigned i) const { return *links_[i]; }
 
   private:
+    void fastSend(const PacketPtr &pkt, Cycle now);
+    void drainFastpath(Cycle now);
+
     MeshShape mesh_;
     NocParams params_;
     const OcorConfig &ocor_;
@@ -97,6 +155,38 @@ class Network
     std::vector<std::unique_ptr<Router>> routers_;
     std::vector<std::unique_ptr<NetworkInterface>> nis_;
     std::vector<std::unique_ptr<Link>> links_;
+
+    /** In-flight analytic deliveries, ordered by (arrival, push
+     * sequence) for deterministic same-cycle delivery order. */
+    struct FastEntry
+    {
+        Cycle at;
+        std::uint64_t seq;
+        PacketPtr pkt;
+        bool operator>(const FastEntry &o) const
+        {
+            return at != o.at ? at > o.at : seq > o.seq;
+        }
+    };
+    std::priority_queue<FastEntry, std::vector<FastEntry>,
+                        std::greater<>>
+        fastQueue_;
+    std::uint64_t fastSeq_ = 0;
+
+    /** Packets handed to send() since construction; sendsTotal_ -
+     * packetsDelivered is the outstanding population feeding the
+     * analytic contention term (counted send-side so loopback and
+     * NI-queued packets are included — see analyticLatency()). */
+    std::uint64_t sendsTotal_ = 0;
+
+    /** Hybrid window oracle (null = exact fidelity). */
+    const unsigned *fastWaiters_ = nullptr;
+
+    /** Window state for the close-transition congestion correction
+     * in send(): the cycle the last open window closed, and whether
+     * the most recent send saw an open window. */
+    bool windowOpen_ = false;
+    Cycle windowClosedAt_ = neverCycle;
 
     NetworkStats stats_;
 };

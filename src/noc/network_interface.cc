@@ -68,6 +68,20 @@ NetworkInterface::onAcked(std::uint64_t seq, Cycle)
 }
 
 void
+NetworkInterface::deliverDirect(const PacketPtr &pkt, Cycle now)
+{
+    pkt->ejectCycle = now;
+    ++stats_.packetsEjected;
+    if (trace_)
+        trace_->record(TraceCat::Noc, TraceEv::PktEject, now, id_,
+                       invalidThread, 0, pkt->id,
+                       static_cast<std::uint32_t>(pkt->type),
+                       pkt->src);
+    if (deliver_)
+        deliver_(pkt, now);
+}
+
+void
 NetworkInterface::checkRetransmits(Cycle now)
 {
     const FaultConfig &cfg = fault_->config();
@@ -314,6 +328,35 @@ NetworkInterface::tick(Cycle now)
         checkRetransmits(now);
     assignVcs(now);
     sendOneFlit(now);
+}
+
+void
+NetworkInterface::tickEvent(Cycle now)
+{
+    bool due = (toRouter_ && toRouter_->creditDue(now)) ||
+               (fromRouter_ && fromRouter_->flitDue(now)) ||
+               (!loopback_.empty() && loopback_.front().first <= now) ||
+               (!injectQueue_.empty() &&
+                injectQueue_.front().ready <= now);
+    if (!due) {
+        for (const auto &vc : outVcs_) {
+            if (vc.pkt && vc.credits > 0) {
+                due = true;
+                break;
+            }
+        }
+    }
+    if (!due && fault_ && fault_->active() &&
+        fault_->config().retransmit) {
+        for (const auto &[seq, o] : outstanding_) {
+            if (o.deadline <= now) {
+                due = true;
+                break;
+            }
+        }
+    }
+    if (due)
+        tick(now);
 }
 
 } // namespace ocor

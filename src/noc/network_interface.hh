@@ -18,6 +18,7 @@
 #ifndef OCOR_NOC_NETWORK_INTERFACE_HH
 #define OCOR_NOC_NETWORK_INTERFACE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -84,6 +85,14 @@ class NetworkInterface
     /** A packet this NI sent reached its destination intact. */
     void onAcked(std::uint64_t seq, Cycle now);
 
+    /**
+     * Hybrid-fidelity delivery: hand @p pkt to the node sink as if
+     * it had been reassembled from the mesh, with ejection
+     * bookkeeping (eject cycle, stats, trace) but no flit transport.
+     * Only the Network's analytic fast path calls this.
+     */
+    void deliverDirect(const PacketPtr &pkt, Cycle now);
+
     /** Packets awaiting delivery confirmation (tests). */
     std::size_t outstandingCount() const { return outstanding_.size(); }
 
@@ -96,6 +105,46 @@ class NetworkInterface
 
     /** Advance one cycle: ejection, VC assignment, flit send. */
     void tick(Cycle now);
+
+    /**
+     * Event-core variant of tick(): runs the full tick only when some
+     * stage provably has work at @p now — a credit or flit due on the
+     * router links, a loopback or injection-queue entry whose ready
+     * cycle has arrived (both FIFOs are monotone, so front checks are
+     * exact), an active output VC with credit to send, or a due
+     * retransmission deadline. When none hold, tick() would mutate
+     * nothing (no arbiter pick, no stats, no callbacks), so skipping
+     * it is bit-identical.
+     */
+    void tickEvent(Cycle now);
+
+    /**
+     * Earliest future cycle tick() could do any work, seen from
+     * cycle @p now (neverCycle = none pending). Loopback and inject
+     * queues are FIFO by construction (entries are stamped now+1 at
+     * push, and now is monotone), so their fronts are minima. Active
+     * output VCs and pending reassembly answer conservatively
+     * (now + 1): ticking early is a no-op, missing a due cycle is
+     * not. Credit arrival and flit ejection are driven by link
+     * state, which the Network-level wake scan covers.
+     */
+    Cycle
+    nextWake(Cycle now) const
+    {
+        Cycle w = neverCycle;
+        if (!loopback_.empty())
+            w = std::min(w, loopback_.front().first);
+        if (!injectQueue_.empty())
+            w = std::min(w, injectQueue_.front().ready);
+        for (const auto &vc : outVcs_)
+            if (vc.pkt)
+                return std::min(w, now + 1);
+        if (!reassembly_.empty())
+            return std::min(w, now + 1);
+        for (const auto &[seq, o] : outstanding_)
+            w = std::min(w, o.deadline);
+        return w;
+    }
 
     /** True when nothing is queued or in flight inside this NI. */
     bool idle() const;

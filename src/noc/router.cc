@@ -65,35 +65,53 @@ Router::testSwapVcFlits(unsigned port, unsigned v)
 }
 
 void
+Router::acceptCredits(unsigned p, Cycle now)
+{
+    // Credits returning from downstream.
+    for (unsigned vc : outLinks_[p]->takeCredits(now)) {
+        if (vc >= params_.numVcs)
+            ocor_panic("router %u: bad credit vc %u", id_, vc);
+        auto &state = outputs_[p].vcs[vc];
+        if (state.credits >= params_.vcDepth)
+            ocor_panic("router %u: credit overflow", id_);
+        ++state.credits;
+        if (check_)
+            check_->onCreditReturn(id_, p, vc, now);
+    }
+}
+
+void
+Router::acceptFlits(unsigned p, Cycle now)
+{
+    // Flits arriving from upstream.
+    while (auto flit = inLinks_[p]->takeFlit(now)) {
+        auto &vc = inputs_[p].vcs[flit->vc];
+        if (vc.fifo.size() >= params_.vcDepth)
+            ocor_panic("router %u: VC overflow p=%u vc=%u",
+                       id_, p, flit->vc);
+        // A head landing at the front of an empty VC is a fresh VA
+        // candidate (an empty VC cannot be mid-packet: outVc is
+        // reset when the previous tail traverses, so front-is-head
+        // implies unallocated).
+        if (vc.fifo.empty() && flit->isHead()) {
+            ++vaPending_;
+            ++vaPendingPort_[p];
+        }
+        vc.fifo.push_back({*flit, now});
+        ++buffered_;
+        if (check_)
+            check_->onVcPush(id_, p, flit->vc, *flit, now);
+    }
+}
+
+void
 Router::deliverIncoming(Cycle now)
 {
     for (unsigned p = 0; p < NumPorts; ++p) {
-        // Credits returning from downstream.
-        if (outLinks_[p]) {
-            for (unsigned vc : outLinks_[p]->takeCredits(now)) {
-                if (vc >= params_.numVcs)
-                    ocor_panic("router %u: bad credit vc %u", id_, vc);
-                auto &state = outputs_[p].vcs[vc];
-                if (state.credits >= params_.vcDepth)
-                    ocor_panic("router %u: credit overflow", id_);
-                ++state.credits;
-                if (check_)
-                    check_->onCreditReturn(id_, p, vc, now);
-            }
-        }
-        // Flits arriving from upstream.
-        if (inLinks_[p]) {
-            while (auto flit = inLinks_[p]->takeFlit(now)) {
-                auto &vc = inputs_[p].vcs[flit->vc];
-                if (vc.fifo.size() >= params_.vcDepth)
-                    ocor_panic("router %u: VC overflow p=%u vc=%u",
-                               id_, p, flit->vc);
-                vc.fifo.push_back({*flit, now});
-                ++buffered_;
-                if (check_)
-                    check_->onVcPush(id_, p, flit->vc, *flit, now);
-            }
-        }
+        if (outLinks_[p])
+            acceptCredits(p, now);
+        if (inLinks_[p])
+            acceptFlits(p, now);
     }
 }
 
@@ -109,9 +127,14 @@ Router::vcAllocation(Cycle now)
     auto ranks = std::span<std::int64_t>(vaRanks_.data(),
                                          NumPorts * nvc);
 
+    // The ranks array is only read by the contested loop below, which
+    // rewrites every entry before each pick; this pass just tallies
+    // requesters, so ports with no unallocated head can be skipped
+    // outright.
     for (unsigned p = 0; p < NumPorts; ++p) {
+        if (vaPendingPort_[p] == 0)
+            continue;
         for (unsigned v = 0; v < nvc; ++v) {
-            ranks[p * nvc + v] = -1;
             auto &vc = inputs_[p].vcs[v];
             if (vc.empty())
                 continue;
@@ -146,6 +169,10 @@ Router::vcAllocation(Cycle now)
             vaArb_[op].grantSingle(idx);
             outputs_[op].vcs[ovc].allocated = true;
             inputs_[idx / nvc].vcs[idx % nvc].outVc = ovc;
+            --vaPending_;
+            --vaPendingPort_[idx / nvc];
+            ++saPending_;
+            ++saPendingPort_[idx / nvc];
             ++stats_.vaGrants;
             if (trace_) {
                 const auto &pkt =
@@ -161,6 +188,13 @@ Router::vcAllocation(Cycle now)
         // arbiter's pointer rotates ties.
         while (reqCount[op] > 0 && outputs_[op].findFreeVc() >= 0) {
             for (unsigned p = 0; p < NumPorts; ++p) {
+                if (vaPendingPort_[p] == 0) {
+                    // No unallocated head on this port: nothing can
+                    // be requesting, only the -1 fill is needed.
+                    for (unsigned v = 0; v < nvc; ++v)
+                        ranks[p * nvc + v] = -1;
+                    continue;
+                }
                 for (unsigned v = 0; v < nvc; ++v) {
                     auto &vc = inputs_[p].vcs[v];
                     bool requesting = !vc.empty() && vc.routed &&
@@ -190,6 +224,10 @@ Router::vcAllocation(Cycle now)
             int ovc = outputs_[op].findFreeVc();
             outputs_[op].vcs[ovc].allocated = true;
             inputs_[wp].vcs[wv].outVc = ovc;
+            --vaPending_;
+            --vaPendingPort_[wp];
+            ++saPending_;
+            ++saPendingPort_[wp];
             ++stats_.vaGrants;
             if (trace_) {
                 const auto &pkt = *inputs_[wp].vcs[wv].front().flit.pkt;
@@ -220,6 +258,10 @@ Router::switchAllocation(Cycle now)
     std::array<Candidate, NumPorts> local{};
 
     for (unsigned p = 0; p < NumPorts; ++p) {
+        // Ports with no allocated VC can have no local candidate
+        // (count would stay 0 below): skip the scan.
+        if (saPendingPort_[p] == 0)
+            continue;
         auto ranks = std::span<std::int64_t>(saLocalRanks_.data(),
                                              nvc);
         unsigned count = 0, lastV = 0;
@@ -333,6 +375,14 @@ Router::switchAllocation(Cycle now)
         if (out.isTail()) {
             ovc.allocated = false; // VC reusable by the next packet
             vc.reset();
+            --saPending_;
+            --saPendingPort_[p];
+            // Anything left in the FIFO is the next packet, so its
+            // head is now at the front awaiting VA.
+            if (!vc.fifo.empty()) {
+                ++vaPending_;
+                ++vaPendingPort_[p];
+            }
         }
     }
 }
@@ -345,6 +395,28 @@ Router::tick(Cycle now)
         return; // nothing to route this cycle
     vcAllocation(now);
     switchAllocation(now);
+}
+
+void
+Router::tickEvent(Cycle now)
+{
+    for (unsigned p = 0; p < NumPorts; ++p) {
+        if (outLinks_[p] && outLinks_[p]->creditDue(now))
+            acceptCredits(p, now);
+        if (inLinks_[p] && inLinks_[p]->flitDue(now))
+            acceptFlits(p, now);
+    }
+    if (buffered_ == 0)
+        return;
+    // With no unallocated head anywhere, vcAllocation() degenerates
+    // to a candidate scan that finds nothing (route computation only
+    // runs for counted candidates), and with no allocated VC,
+    // switchAllocation() finds no local-stage candidate: both are
+    // provable no-ops, so the gates cannot change behavior.
+    if (vaPending_ > 0)
+        vcAllocation(now);
+    if (saPending_ > 0)
+        switchAllocation(now);
 }
 
 } // namespace ocor

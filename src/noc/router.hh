@@ -69,6 +69,18 @@ class Router
     /** Advance one cycle: credits, deliveries, VA, SA+ST. */
     void tick(Cycle now);
 
+    /**
+     * Event-core variant of tick(): behaviorally identical, but each
+     * stage runs only when it provably has work. Link polls are gated
+     * by the O(1) Link due tests, VA by vaPending_ (some input VC has
+     * an unallocated head flit at its front) and SA by saPending_
+     * (some input VC holds an allocated downstream VC). A skipped
+     * stage would have been a pure no-op — no state change, no
+     * arbiter pointer movement, no stats/trace/checker callbacks —
+     * so the two tick flavors stay bit-identical by construction.
+     */
+    void tickEvent(Cycle now);
+
     NodeId id() const { return id_; }
     const RouterStats &stats() const { return stats_; }
 
@@ -95,6 +107,11 @@ class Router
     /** Buffered flit count (for drain checks and tests). */
     unsigned occupancy() const;
 
+    /** O(1) any-buffered-flit test (event-core wakeup plumbing):
+     * a router with no buffered flits has nothing to arbitrate, so
+     * ticking it is a no-op. */
+    bool busy() const { return buffered_ > 0; }
+
     /** Direct VC inspection for white-box tests. */
     const VcState &vc(unsigned port, unsigned v) const
     {
@@ -103,6 +120,8 @@ class Router
 
   private:
     void deliverIncoming(Cycle now);
+    void acceptCredits(unsigned port, Cycle now);
+    void acceptFlits(unsigned port, Cycle now);
     void vcAllocation(Cycle now);
     void switchAllocation(Cycle now);
 
@@ -127,6 +146,27 @@ class Router
 
     /** Buffered flits across all input VCs (fast-path early out). */
     unsigned buffered_ = 0;
+
+    /**
+     * Incremental allocation-stage work counters, maintained at every
+     * VC state transition (flit push, VA grant, tail traversal) and
+     * consulted only by tickEvent(). vaPending_ counts input VCs
+     * whose front flit is an unallocated head (VA candidates, once
+     * their pipeline delay elapses); saPending_ counts input VCs with
+     * an allocated downstream VC (outVc >= 0), i.e. packets still
+     * traversing. Both are conservative over-approximations of
+     * "stage can act this cycle" (pipeline timing and credit
+     * availability are not folded in), which is exactly what a no-op
+     * gate needs.
+     */
+    unsigned vaPending_ = 0;
+    unsigned saPending_ = 0;
+
+    /** Same counters broken down by input port, so the allocation
+     * scans can skip whole ports (the common case is 1-2 active
+     * ports out of 5 even in a busy router). */
+    std::array<unsigned, NumPorts> vaPendingPort_{};
+    std::array<unsigned, NumPorts> saPendingPort_{};
 
     /** Per-cycle scratch (avoids hot-loop allocation). */
     static constexpr unsigned maxVcs = 16;

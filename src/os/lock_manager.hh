@@ -66,6 +66,20 @@ class LockManager
     void tick(Cycle now);
 
     bool idle() const { return delayed_.empty() && retries_.empty(); }
+
+    /** Earliest cycle tick() would do any work (neverCycle = none).
+     * Both queues are constant-latency FIFOs (homeLatency and
+     * wakeRetryDelay), so their fronts are the minima. */
+    Cycle nextWake() const
+    {
+        Cycle w = neverCycle;
+        if (!delayed_.empty())
+            w = delayed_.front().first;
+        if (!retries_.empty() && retries_.front().first < w)
+            w = retries_.front().first;
+        return w;
+    }
+
     const LockMgrStats &stats() const { return stats_; }
 
     /** Attach the event tracer (null = tracing off, zero overhead). */

@@ -64,6 +64,8 @@ QSpinlock::acquire(Addr lock_word, Cycle now, AcquiredFn done)
     if (active_ || holding_)
         ocor_panic("QSpinlock t%u: acquire while busy", pcb_.tid);
     active_ = true;
+    if (waiters_)
+        ++*waiters_;
     lock_ = lock_word;
     spinStart_ = now;
     everSlept_ = false;
@@ -107,6 +109,8 @@ QSpinlock::issueTry(Cycle now)
 void
 QSpinlock::enterCs(Cycle now)
 {
+    if (waiters_ && active_ && *waiters_ > 0)
+        --*waiters_;
     active_ = false;
     holding_ = true;
     tryInFlight_ = false;

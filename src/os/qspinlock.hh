@@ -29,6 +29,7 @@
 #ifndef OCOR_OS_QSPINLOCK_HH
 #define OCOR_OS_QSPINLOCK_HH
 
+#include <algorithm>
 #include <functional>
 
 #include "common/types.hh"
@@ -70,6 +71,38 @@ class QSpinlock
     Addr currentLock() const { return lock_; }
     bool everSleptThisWait() const { return everSlept_; }
     bool tryInFlight() const { return tryInFlight_; }
+
+    /**
+     * Earliest cycle tick() would do any work (neverCycle = none),
+     * mirroring tick()'s guards term by term: the two fault-recovery
+     * watchdogs, the deferred FUTEX_WAKE, and the retry/sleep-prep/
+     * wakeup timer. Everything else this class does is handle()
+     * traffic or an acquire()/release() call, not tick() work.
+     */
+    Cycle
+    nextWake() const
+    {
+        Cycle w = neverCycle;
+        if (os_.tryWatchdogCycles > 0 && active_ && tryInFlight_ &&
+            pcb_.state == ThreadState::Spinning)
+            w = std::min(w, trySentAt_ + os_.tryWatchdogCycles);
+        if (os_.sleepWatchdogCycles > 0 && active_ &&
+            pcb_.state == ThreadState::Sleeping &&
+            sleepingSince_ != neverCycle)
+            w = std::min(w, sleepingSince_ + os_.sleepWatchdogCycles);
+        w = std::min(w, pendingWakeAt_);
+        if (timer_ != Timer::None)
+            w = std::min(w, timerAt_);
+        return w;
+    }
+
+    /**
+     * Hybrid-fidelity hook: a shared counter of threads currently
+     * waiting on any lock (incremented on acquire, decremented on CS
+     * entry). The network's analytic fast path is only eligible
+     * while the counter reads zero. Null = not maintained.
+     */
+    void setWaiterCounter(unsigned *c) { waiters_ = c; }
 
     /** Watchdog re-issues of a LockTry / FutexWait (fault recovery). */
     std::uint64_t recoveries() const { return recoveries_; }
@@ -147,6 +180,9 @@ class QSpinlock
 
     Tracer *trace_ = nullptr;
     CheckerRegistry *check_ = nullptr;
+
+    /** Shared active-waiter count (hybrid fidelity); null = off. */
+    unsigned *waiters_ = nullptr;
 };
 
 } // namespace ocor

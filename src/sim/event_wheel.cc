@@ -1,0 +1,113 @@
+#include "sim/event_wheel.hh"
+
+#include "common/log.hh"
+
+namespace ocor
+{
+
+EventWheel::EventWheel(unsigned num_buckets, Cycle bucket_width)
+    : nBuckets_(num_buckets == 0 ? 1 : num_buckets),
+      width_(bucket_width == 0 ? 1 : bucket_width),
+      span_(static_cast<Cycle>(nBuckets_) * width_),
+      buckets_(nBuckets_)
+{
+}
+
+std::uint64_t
+EventWheel::schedule(Cycle cycle, std::uint32_t rank,
+                     std::uint64_t payload)
+{
+    WheelEvent e;
+    e.cycle = cycle;
+    e.rank = rank;
+    e.seq = seq_++;
+    e.payload = payload;
+    if (cycle >= horizon()) {
+        overflow_.push_back(e);
+    } else {
+        // Past-of-window cycles (allowed: they pop immediately) park
+        // in the base bucket so the first-nonempty-bucket scan still
+        // finds the global minimum there.
+        buckets_[bucketOf(cycle < base_ ? base_ : cycle)].push_back(e);
+    }
+    ++size_;
+    return e.seq;
+}
+
+void
+EventWheel::slideTo(Cycle cycle)
+{
+    const Cycle new_base = cycle - cycle % width_;
+    if (new_base <= base_)
+        return;
+    base_ = new_base;
+    const Cycle hor = horizon();
+    for (std::size_t i = 0; i < overflow_.size();) {
+        if (overflow_[i].cycle < hor) {
+            const WheelEvent &e = overflow_[i];
+            buckets_[bucketOf(e.cycle < base_ ? base_ : e.cycle)]
+                .push_back(e);
+            overflow_[i] = overflow_.back();
+            overflow_.pop_back();
+        } else {
+            ++i;
+        }
+    }
+}
+
+WheelEvent *
+EventWheel::findMin(std::vector<WheelEvent> **home)
+{
+    if (size_ == 0)
+        return nullptr;
+    // Each ring bucket covers one width_-cycle slice of the window
+    // (ascending from base_, wrapping), so the first nonempty bucket
+    // holds the earliest pending cycle; the comparator picks the
+    // (cycle, rank, seq) minimum within it.
+    const std::size_t start = bucketOf(base_);
+    for (unsigned k = 0; k < nBuckets_; ++k) {
+        auto &b = buckets_[(start + k) % nBuckets_];
+        if (b.empty())
+            continue;
+        WheelEvent *best = &b[0];
+        for (auto &e : b)
+            if (wheelEventBefore(e, *best))
+                best = &e;
+        *home = &b;
+        return best;
+    }
+    // Ring drained: everything pending sits in overflow. Slide the
+    // window to overflow's earliest cycle; migration then guarantees
+    // the rescan finds it in the ring.
+    WheelEvent *best = &overflow_[0];
+    for (auto &e : overflow_)
+        if (wheelEventBefore(e, *best))
+            best = &e;
+    slideTo(best->cycle);
+    return findMin(home);
+}
+
+Cycle
+EventWheel::nextCycle()
+{
+    std::vector<WheelEvent> *home = nullptr;
+    WheelEvent *e = findMin(&home);
+    return e ? e->cycle : neverCycle;
+}
+
+WheelEvent
+EventWheel::pop()
+{
+    std::vector<WheelEvent> *home = nullptr;
+    WheelEvent *best = findMin(&home);
+    if (!best)
+        ocor_panic("EventWheel::pop on an empty wheel");
+    WheelEvent out = *best;
+    *best = home->back();
+    home->pop_back();
+    --size_;
+    slideTo(out.cycle);
+    return out;
+}
+
+} // namespace ocor

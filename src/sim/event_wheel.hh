@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Calendar-queue event wheel: the scheduler behind the event-driven
+ * simulation core (DESIGN.md §13).
+ *
+ * Near-future events land in a ring of cycle-range buckets; events
+ * beyond the ring's horizon wait in an overflow pool and migrate into
+ * the ring as the window slides forward. Time is monotone (the
+ * simulator never schedules into the past of the last pop), which
+ * keeps every operation allocation-free in steady state.
+ *
+ * Ordering is fully deterministic: events pop in (cycle, rank,
+ * insertion sequence) order. Rank is the registrant's fixed
+ * component-group rank, so two components due the same cycle always
+ * come back in canonical tick order, and two registrations of the
+ * same group resolve by age. This tie-break rule is what makes the
+ * event core bit-identical to the legacy per-cycle loop.
+ */
+
+#ifndef OCOR_SIM_EVENT_WHEEL_HH
+#define OCOR_SIM_EVENT_WHEEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ocor
+{
+
+/** One scheduled wakeup. */
+struct WheelEvent
+{
+    Cycle cycle = 0;          ///< due cycle
+    std::uint32_t rank = 0;   ///< component-group rank (1st tie-break)
+    std::uint64_t seq = 0;    ///< insertion order (2nd tie-break)
+    std::uint64_t payload = 0; ///< registrant cookie
+};
+
+/** `a` pops strictly before `b`. */
+inline bool
+wheelEventBefore(const WheelEvent &a, const WheelEvent &b)
+{
+    if (a.cycle != b.cycle)
+        return a.cycle < b.cycle;
+    if (a.rank != b.rank)
+        return a.rank < b.rank;
+    return a.seq < b.seq;
+}
+
+/** Calendar queue of WheelEvents. */
+class EventWheel
+{
+  public:
+    /**
+     * @p num_buckets ring slots, each covering @p bucket_width
+     * cycles; together they form the near-future window. Defaults
+     * cover 4096 cycles — wider than the watchdog stride and most OS
+     * timer delays, so overflow migration is rare.
+     */
+    explicit EventWheel(unsigned num_buckets = 64,
+                        Cycle bucket_width = 64);
+
+    /**
+     * Register an event. Cycles earlier than the window base (time
+     * already popped past them) are accepted and come back
+     * immediately, still ordered by their true cycle.
+     *
+     * @return the event's insertion sequence number.
+     */
+    std::uint64_t schedule(Cycle cycle, std::uint32_t rank,
+                           std::uint64_t payload = 0);
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+
+    /** Earliest pending cycle; neverCycle when empty. Slides the
+     * window (migrating overflow events), hence non-const. */
+    Cycle nextCycle();
+
+    /** Remove and return the earliest event ((cycle, rank, seq)
+     * order). Panics when empty. */
+    WheelEvent pop();
+
+    /** Total schedule() calls ever (scheduler-overhead metric). */
+    std::uint64_t scheduled() const { return seq_; }
+
+  private:
+    /** Ring index of an in-window cycle. */
+    std::size_t bucketOf(Cycle cycle) const
+    {
+        return static_cast<std::size_t>((cycle / width_) % nBuckets_);
+    }
+
+    /** First cycle past the current window. */
+    Cycle horizon() const
+    {
+        Cycle span = span_;
+        return base_ > neverCycle - span ? neverCycle : base_ + span;
+    }
+
+    /** Slide the window so @p cycle is inside it and pull overflow
+     * events that became near-future into the ring. */
+    void slideTo(Cycle cycle);
+
+    /** Pointer to the minimum event, scanning ring then overflow;
+     * null when empty. Slides the window first. */
+    WheelEvent *findMin(std::vector<WheelEvent> **home);
+
+    unsigned nBuckets_;
+    Cycle width_;
+    Cycle span_;            ///< nBuckets_ * width_
+    Cycle base_ = 0;        ///< window start (bucket-aligned)
+    std::size_t size_ = 0;
+    std::uint64_t seq_ = 0;
+    std::vector<std::vector<WheelEvent>> buckets_;
+    std::vector<WheelEvent> overflow_; ///< events past the horizon
+};
+
+} // namespace ocor
+
+#endif // OCOR_SIM_EVENT_WHEEL_HH

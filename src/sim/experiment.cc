@@ -40,6 +40,7 @@ makeSystemConfig(const ExperimentConfig &exp, bool ocor_enabled)
         cfg.ocor = exp.ocorOverride;
     cfg.ocor.enabled = ocor_enabled;
     cfg.check = exp.check;
+    cfg.fidelity = exp.fidelity;
     return cfg;
 }
 

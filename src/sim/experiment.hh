@@ -50,6 +50,12 @@ struct ExperimentConfig
 
     /** Runtime invariant checking, applied to both runs of a pair. */
     CheckConfig check;
+
+    /** Simulation fidelity, applied to both runs of a pair. Hybrid
+     * diverts background traffic to the analytic NoC fast path during
+     * uncontended windows (see DESIGN.md §13); results are
+     * approximate and cached under a distinct key. */
+    Fidelity fidelity = Fidelity::Exact;
 };
 
 /**

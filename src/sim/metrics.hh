@@ -37,6 +37,10 @@ struct RunMetrics
     std::uint64_t packetsInjected = 0;
     std::uint64_t flitsInjected = 0;
     std::uint64_t lockPacketsInjected = 0;
+
+    /** Packets delivered by the hybrid analytic fast path (0 under
+     * exact fidelity). */
+    std::uint64_t fastpathPackets = 0;
     double avgPacketLatency = 0.0;
     double avgLockPacketLatency = 0.0;
     double avgDataPacketLatency = 0.0;

@@ -37,6 +37,12 @@ makeCacheKey(const BenchmarkProfile &profile,
 {
     CacheKey key;
     key.benchmark = profile.name;
+    // Hybrid-fidelity results are approximations; never let them
+    // satisfy (or be satisfied by) an exact-fidelity lookup. A name
+    // suffix keeps the journal format unchanged, so existing exact
+    // journals stay valid.
+    if (exp.fidelity == Fidelity::Hybrid)
+        key.benchmark += "+hybrid";
     key.threads = exp.threads;
     key.ocorEnabled = ocor_enabled;
     key.iterations = exp.iterationsOverride;

@@ -1,14 +1,86 @@
 #include "sim/simulator.hh"
 
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
 
 #include "common/log.hh"
 #include "common/thread_pool.hh"
 #include "sim/crashdump.hh"
+#include "sim/event_wheel.hh"
 
 namespace ocor
 {
+
+namespace
+{
+
+using sim_clock = std::chrono::steady_clock;
+
+double
+secondsSince(sim_clock::time_point a, sim_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+/** Wheel ranks beyond the System component groups: pseudo events
+ * that keep the watchdog/cancel poll stride and the telemetry
+ * sampler firing on exactly the cycles the legacy loop visits. */
+constexpr unsigned kTelemetryGroup = NumSystemGroups;
+constexpr unsigned kStrideGroup = NumSystemGroups + 1;
+constexpr unsigned kNumGroups = NumSystemGroups + 2;
+
+/** The watchdog/cancel poll stride of the run loop (cycles with
+ * (now & kStrideMask) == 0 are poll cycles). */
+constexpr Cycle kStrideMask = 0x7ff;
+
+std::atomic<SimCoreMode> g_default_core{SimCoreMode::Auto};
+
+SimCoreMode
+envCoreMode()
+{
+    static const SimCoreMode mode = [] {
+        const char *s = std::getenv("OCOR_SIM_CORE");
+        if (!s || !*s)
+            return SimCoreMode::Auto;
+        if (std::strcmp(s, "legacy") == 0)
+            return SimCoreMode::Legacy;
+        if (std::strcmp(s, "event") == 0)
+            return SimCoreMode::Event;
+        ocor_warn("OCOR_SIM_CORE=\"%s\" not recognized "
+                  "(want \"legacy\" or \"event\"); ignoring", s);
+        return SimCoreMode::Auto;
+    }();
+    return mode;
+}
+
+} // namespace
+
+void
+Simulator::setDefaultCoreMode(SimCoreMode m)
+{
+    g_default_core.store(m, std::memory_order_relaxed);
+}
+
+SimCoreMode
+Simulator::defaultCoreMode()
+{
+    return g_default_core.load(std::memory_order_relaxed);
+}
+
+SimCoreMode
+Simulator::resolvedCoreMode() const
+{
+    if (opts_.core != SimCoreMode::Auto)
+        return opts_.core;
+    if (SimCoreMode d = defaultCoreMode(); d != SimCoreMode::Auto)
+        return d;
+    if (SimCoreMode e = envCoreMode(); e != SimCoreMode::Auto)
+        return e;
+    return SimCoreMode::Event;
+}
 
 Simulator::Simulator(const SystemConfig &cfg,
                      std::vector<Program> programs,
@@ -150,83 +222,255 @@ Simulator::diagnoseHang() const
     return os.str();
 }
 
+bool
+Simulator::processCycle(bool event, Tracer *tr, CheckerRegistry *ck,
+                        Cycle &last_progress_at,
+                        std::uint64_t &last_progress)
+{
+    if (opts_.profileWall) {
+        const auto t0 = sim_clock::now();
+        if (event)
+            system_->tickEvent(now_);
+        else
+            system_->tick(now_);
+        const auto t1 = sim_clock::now();
+        accountCycle(now_);
+        wall_.tickSeconds += secondsSince(t0, t1);
+        wall_.accountSeconds += secondsSince(t1, sim_clock::now());
+    } else {
+        if (event)
+            system_->tickEvent(now_);
+        else
+            system_->tick(now_);
+        accountCycle(now_);
+    }
+    ++wall_.cyclesProcessed;
+    if (ck)
+        ck->onCycleEnd(now_);
+    if (telemetry_.due(now_)) {
+        telemetry_.sample(now_, *system_);
+        if (tr)
+            tr->record(TraceCat::Sim, TraceEv::TelemetrySample,
+                       now_, invalidNode, invalidThread, 0, 0,
+                       static_cast<std::uint32_t>(
+                           telemetry_.points()));
+    }
+    if (system_->allFinished())
+        return true;
+    // Cooperative cancellation (supervision deadline), polled at
+    // the same coarse stride as the watchdog so the unsupervised
+    // loop stays bit-identical and cheap.
+    if (opts_.cancel && (now_ & kStrideMask) == 0 &&
+        opts_.cancel->cancelled()) {
+        cancelled_ = true;
+        if (tr)
+            tr->record(TraceCat::Sim, TraceEv::WatchdogFired,
+                       now_, invalidNode, invalidThread, 0, 0,
+                       1 /* a0 = cancelled, not wedged */);
+        ocor_warn("run cancelled by supervisor at cycle %llu",
+                  static_cast<unsigned long long>(now_));
+        return true;
+    }
+    // Forward-progress watchdog, checked at a coarse stride so
+    // the fault-free loop stays cheap.
+    if (cfg_.progressWindow > 0 && (now_ & kStrideMask) == 0) {
+        std::uint64_t p = progressSignal();
+        if (p != last_progress) {
+            last_progress = p;
+            last_progress_at = now_;
+        } else if (now_ - last_progress_at >= cfg_.progressWindow) {
+            hangDetected_ = true;
+            hangDiagnosis_ = diagnoseHang();
+            if (tr)
+                tr->record(TraceCat::Sim, TraceEv::WatchdogFired,
+                           now_, invalidNode);
+            ocor_warn("no forward progress for %llu cycles at "
+                      "cycle %llu; failing fast\n%s",
+                      static_cast<unsigned long long>(
+                          now_ - last_progress_at),
+                      static_cast<unsigned long long>(now_),
+                      hangDiagnosis_.c_str());
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Simulator::runLegacyLoop(Tracer *tr, CheckerRegistry *ck)
+{
+    Cycle last_progress_at = 0;
+    std::uint64_t last_progress = 0;
+    for (now_ = 0; now_ < cfg_.maxCycles; ++now_)
+        if (processCycle(false, tr, ck, last_progress_at,
+                         last_progress))
+            break;
+}
+
+void
+Simulator::accountSpan(Cycle from, Cycle to)
+{
+    if (to <= from)
+        return;
+    // Exact per-cycle rows while the timeline recorder is within its
+    // horizon; the counter batching below covers the rest.
+    if (timeline_.enabled() && from < timeline_.horizon()) {
+        const Cycle cap = std::min(to, timeline_.horizon());
+        for (Cycle c = from; c < cap; ++c)
+            accountCycle(c);
+        from = cap;
+        if (to <= from)
+            return;
+    }
+    const std::uint64_t span = to - from;
+    holderMemo_.reset();
+    for (std::size_t i = 0; i < live_.size();) {
+        ThreadId t = live_[i];
+        Pcb &pcb = system_->pcb(t);
+        switch (pcb.state) {
+          case ThreadState::Running:
+            pcb.counters.computeCycles += span;
+            break;
+          case ThreadState::InCS:
+            pcb.counters.csCycles += span;
+            break;
+          case ThreadState::Spinning:
+          case ThreadState::SleepPrep:
+          case ThreadState::Sleeping:
+          case ThreadState::Waking: {
+            Addr lock = system_->qspinlock(t).currentLock();
+            bool held;
+            if (!holderMemo_.lookup(lock, held)) {
+                held = system_->lockHolderInCs(lock);
+                holderMemo_.insert(lock, held);
+            }
+            if (held)
+                pcb.counters.blockedHeldCycles += span;
+            else
+                pcb.counters.blockedIdleCycles += span;
+            break;
+          }
+          case ThreadState::Finished:
+            // A thread only reaches Finished on a processed cycle
+            // and is unlinked there; defensive no-charge.
+            break;
+        }
+        if (pcb.state == ThreadState::Finished &&
+            !timeline_.enabled()) {
+            live_[i] = live_.back();
+            live_.pop_back();
+        } else {
+            ++i;
+        }
+    }
+}
+
+void
+Simulator::runEventLoop(Tracer *tr, CheckerRegistry *ck)
+{
+    // With a checker registry attached the end-of-cycle invariant
+    // walk must run every cycle (its per-cycle verdicts — and thus
+    // violation counts under a collecting handler — are observable),
+    // so cycle skipping is off; the lazy per-component tick skipping
+    // of tickEvent() still applies.
+    const bool skipping = (ck == nullptr);
+    const bool stride_active =
+        cfg_.progressWindow > 0 || opts_.cancel != nullptr;
+
+    EventWheel wheel;
+    Cycle scheduled[kNumGroups];
+    if (skipping) {
+        // Seed every group due at cycle 0, like the legacy loop's
+        // unconditional first tick (non-due ticks are no-ops).
+        for (unsigned g = 0; g < kNumGroups; ++g) {
+            scheduled[g] = 0;
+            wheel.schedule(0, g);
+        }
+    }
+
+    auto group_wake = [&](unsigned g) -> Cycle {
+        if (g < NumSystemGroups)
+            return system_->componentWake(g, now_);
+        if (g == kTelemetryGroup)
+            return telemetry_.nextDue();
+        // Poll-stride pseudo event: the next (now & mask) == 0
+        // cycle, so cancel/watchdog polls fire on the exact cycles
+        // the legacy loop polls on.
+        return stride_active
+            ? ((now_ | kStrideMask) + 1)
+            : neverCycle;
+    };
+
+    Cycle last_progress_at = 0;
+    std::uint64_t last_progress = 0;
+    now_ = 0;
+    while (now_ < cfg_.maxCycles) {
+        if (processCycle(true, tr, ck, last_progress_at,
+                         last_progress))
+            break;
+        if (!skipping) {
+            ++now_;
+            continue;
+        }
+
+        const auto s0 =
+            opts_.profileWall ? sim_clock::now() : sim_clock::time_point{};
+        // Re-register every group whose wake moved. Value-equality
+        // against scheduled[] doubles as the staleness test for
+        // entries already in the wheel.
+        for (unsigned g = 0; g < kNumGroups; ++g) {
+            Cycle w = group_wake(g);
+            if (w <= now_)
+                w = now_ + 1;
+            if (w != scheduled[g]) {
+                scheduled[g] = w;
+                if (w != neverCycle)
+                    wheel.schedule(w, g);
+            }
+        }
+        Cycle next = neverCycle;
+        while (!wheel.empty()) {
+            WheelEvent e = wheel.pop();
+            if (e.cycle == scheduled[e.rank]) {
+                next = e.cycle;
+                break;
+            }
+        }
+        if (opts_.profileWall)
+            wall_.schedSeconds += secondsSince(s0, sim_clock::now());
+
+        if (next >= cfg_.maxCycles) {
+            // Nothing left to do before the horizon: the legacy loop
+            // would idle-tick to maxCycles, charging thread states
+            // each cycle. Account the span and stop there.
+            accountSpan(now_ + 1, cfg_.maxCycles);
+            if (cfg_.maxCycles > now_ + 1)
+                wall_.cyclesSkipped += cfg_.maxCycles - (now_ + 1);
+            now_ = cfg_.maxCycles;
+            break;
+        }
+        accountSpan(now_ + 1, next);
+        wall_.cyclesSkipped += next - (now_ + 1);
+        now_ = next;
+    }
+    wall_.eventsScheduled = wheel.scheduled();
+}
+
 RunMetrics
 Simulator::run()
 {
-    using clock = std::chrono::steady_clock;
-    auto seconds_since = [](clock::time_point a, clock::time_point b) {
-        return std::chrono::duration<double>(b - a).count();
-    };
-    const auto run_start = clock::now();
+    const auto run_start = sim_clock::now();
 
     Tracer *tr = system_->tracer();
     if (tr)
         tr->record(TraceCat::Sim, TraceEv::RunBegin, 0, invalidNode);
     CheckerRegistry *ck = system_->checker();
 
-    Cycle last_progress_at = 0;
-    std::uint64_t last_progress = 0;
-    for (now_ = 0; now_ < cfg_.maxCycles; ++now_) {
-        if (opts_.profileWall) {
-            const auto t0 = clock::now();
-            system_->tick(now_);
-            const auto t1 = clock::now();
-            accountCycle(now_);
-            wall_.tickSeconds += seconds_since(t0, t1);
-            wall_.accountSeconds += seconds_since(t1, clock::now());
-        } else {
-            system_->tick(now_);
-            accountCycle(now_);
-        }
-        if (ck)
-            ck->onCycleEnd(now_);
-        if (telemetry_.due(now_)) {
-            telemetry_.sample(now_, *system_);
-            if (tr)
-                tr->record(TraceCat::Sim, TraceEv::TelemetrySample,
-                           now_, invalidNode, invalidThread, 0, 0,
-                           static_cast<std::uint32_t>(
-                               telemetry_.points()));
-        }
-        if (system_->allFinished())
-            break;
-        // Cooperative cancellation (supervision deadline), polled at
-        // the same coarse stride as the watchdog so the unsupervised
-        // loop stays bit-identical and cheap.
-        if (opts_.cancel && (now_ & 0x7ff) == 0 &&
-            opts_.cancel->cancelled()) {
-            cancelled_ = true;
-            if (tr)
-                tr->record(TraceCat::Sim, TraceEv::WatchdogFired,
-                           now_, invalidNode, invalidThread, 0, 0,
-                           1 /* a0 = cancelled, not wedged */);
-            ocor_warn("run cancelled by supervisor at cycle %llu",
-                      static_cast<unsigned long long>(now_));
-            break;
-        }
-        // Forward-progress watchdog, checked at a coarse stride so
-        // the fault-free loop stays cheap.
-        if (cfg_.progressWindow > 0 && (now_ & 0x7ff) == 0) {
-            std::uint64_t p = progressSignal();
-            if (p != last_progress) {
-                last_progress = p;
-                last_progress_at = now_;
-            } else if (now_ - last_progress_at >= cfg_.progressWindow) {
-                hangDetected_ = true;
-                hangDiagnosis_ = diagnoseHang();
-                if (tr)
-                    tr->record(TraceCat::Sim, TraceEv::WatchdogFired,
-                               now_, invalidNode);
-                ocor_warn("no forward progress for %llu cycles at "
-                          "cycle %llu; failing fast\n%s",
-                          static_cast<unsigned long long>(
-                              now_ - last_progress_at),
-                          static_cast<unsigned long long>(now_),
-                          hangDiagnosis_.c_str());
-                break;
-            }
-        }
-    }
+    if (resolvedCoreMode() == SimCoreMode::Legacy)
+        runLegacyLoop(tr, ck);
+    else
+        runEventLoop(tr, ck);
+
     if (!hangDetected_ && !cancelled_ && now_ >= cfg_.maxCycles)
         ocor_warn("simulation hit maxCycles (%llu) before finishing",
                   static_cast<unsigned long long>(cfg_.maxCycles));
@@ -237,7 +481,7 @@ Simulator::run()
     if (ck)
         ck->finalize(now_);
     wall_.cycles = now_;
-    wall_.totalSeconds = seconds_since(run_start, clock::now());
+    wall_.totalSeconds = secondsSince(run_start, sim_clock::now());
 
     RunMetrics m;
     m.roiFinish = now_;
@@ -249,6 +493,7 @@ Simulator::run()
     m.packetsInjected = net.totalPacketsInjected();
     m.flitsInjected = net.totalFlitsInjected();
     m.lockPacketsInjected = net.totalLockPacketsInjected();
+    m.fastpathPackets = net.stats().fastpathPackets;
     m.avgPacketLatency = net.stats().packetLatency.mean();
     m.avgLockPacketLatency = net.stats().lockPacketLatency.mean();
     m.avgDataPacketLatency = net.stats().dataPacketLatency.mean();
@@ -281,6 +526,28 @@ Simulator::run()
     m.hangDetected = hangDetected_;
     m.cancelled = cancelled_;
     return m;
+}
+
+void
+Simulator::registerStats(StatsRegistry &reg)
+{
+    system_->registerStats(reg);
+    // Host wall-clock cost of the run, split by phase (Fig 10's
+    // observability leg). The phase splits are only populated with
+    // profileWall on; the cycle counters always are.
+    reg.addScalarFn("sim.wall.total_seconds",
+                    [this] { return wall_.totalSeconds; });
+    reg.addScalarFn("sim.wall.tick_seconds",
+                    [this] { return wall_.tickSeconds; });
+    reg.addScalarFn("sim.wall.account_seconds",
+                    [this] { return wall_.accountSeconds; });
+    reg.addScalarFn("sim.wall.sched_seconds",
+                    [this] { return wall_.schedSeconds; });
+    reg.addScalarFn("sim.wall.cycles",
+                    [this] { return static_cast<double>(wall_.cycles); });
+    reg.addScalar("sim.wall.cycles_processed", &wall_.cyclesProcessed);
+    reg.addScalar("sim.wall.cycles_skipped", &wall_.cyclesSkipped);
+    reg.addScalar("sim.wall.events_scheduled", &wall_.eventsScheduled);
 }
 
 } // namespace ocor

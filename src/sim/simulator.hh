@@ -21,6 +21,25 @@ namespace ocor
 {
 
 class CancelToken;
+class Tracer;
+
+/**
+ * Which simulation core drives run().
+ *
+ * Legacy is the original unconditional per-cycle loop (every
+ * component ticked every cycle); Event is the event-driven core
+ * (components ticked only on due cycles, quiet spans skipped in one
+ * step). The two are bit-identical by construction — Event exists
+ * purely for wall-clock speed. Auto defers to the process-wide
+ * default (setDefaultCoreMode), then the OCOR_SIM_CORE environment
+ * variable ("legacy" / "event"), then Event.
+ */
+enum class SimCoreMode : std::uint8_t
+{
+    Auto,
+    Legacy,
+    Event
+};
 
 /**
  * One-cycle memo of lockHolderInCs verdicts, keyed by lock word.
@@ -91,6 +110,9 @@ struct SimOptions
      * keeps the loop bit-identical to an unsupervised run.
      */
     const CancelToken *cancel = nullptr;
+
+    /** Simulation core driving run() (see SimCoreMode). */
+    SimCoreMode core = SimCoreMode::Auto;
 };
 
 /** Host wall-clock cost of one run() (never enters sim results). */
@@ -99,7 +121,15 @@ struct WallProfile
     double totalSeconds = 0.0;   ///< whole run(), always measured
     double tickSeconds = 0.0;    ///< System::tick (profileWall only)
     double accountSeconds = 0.0; ///< accounting (profileWall only)
-    std::uint64_t cycles = 0;    ///< cycles the loop executed
+    double schedSeconds = 0.0;   ///< event scheduling (profileWall)
+    std::uint64_t cycles = 0;    ///< simulated cycles covered
+
+    /** Cycles the loop actually ticked (== cycles under the legacy
+     * core; under the event core, cycles + skipped == processed +
+     * skipped covers the run). */
+    std::uint64_t cyclesProcessed = 0;
+    std::uint64_t cyclesSkipped = 0;   ///< quiet cycles jumped over
+    std::uint64_t eventsScheduled = 0; ///< event-wheel pushes
 };
 
 /** Drives one System instance through its region of interest. */
@@ -150,7 +180,46 @@ class Simulator
      * watchdog fired (empty otherwise). */
     const std::string &hangDiagnosis() const { return hangDiagnosis_; }
 
+    /**
+     * Register the System's component counters plus this run's wall
+     * profile ("sim.wall.*": total/tick/account/sched seconds and
+     * the processed/skipped cycle split). The registry reads from
+     * this Simulator at dump time, so it must not outlive it.
+     */
+    void registerStats(StatsRegistry &reg);
+
+    /**
+     * Process-wide default core for Simulators whose options leave
+     * core at Auto (the benches' --legacy-tick flag). Thread-safe.
+     */
+    static void setDefaultCoreMode(SimCoreMode m);
+    static SimCoreMode defaultCoreMode();
+
+    /** The core mode run() will use (Auto fully resolved). */
+    SimCoreMode resolvedCoreMode() const;
+
   private:
+    void runLegacyLoop(Tracer *tr, CheckerRegistry *ck);
+    void runEventLoop(Tracer *tr, CheckerRegistry *ck);
+
+    /**
+     * One legacy loop-body iteration at now_ (tick or tickEvent,
+     * accounting, checkers, telemetry, finish/cancel/watchdog exit
+     * tests). Returns true when the run must stop at now_.
+     */
+    bool processCycle(bool event, Tracer *tr, CheckerRegistry *ck,
+                      Cycle &last_progress_at,
+                      std::uint64_t &last_progress);
+
+    /**
+     * Charge cycles [from, to) to every live thread in one step.
+     * Valid only for spans in which no component was ticked: state
+     * is frozen, so each thread's accounting verdict is constant
+     * across the span and multiplies out. Timeline cycles (below the
+     * recorder horizon) still get exact per-cycle rows.
+     */
+    void accountSpan(Cycle from, Cycle to);
+
     void accountCycle(Cycle now);
 
     /** Charge one cycle to thread @p t's current state. */

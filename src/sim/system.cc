@@ -1,5 +1,7 @@
 #include "sim/system.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace ocor
@@ -60,6 +62,14 @@ System::System(const SystemConfig &cfg, std::vector<Program> programs,
     for (auto &[node, mc] : mcs_)
         mcTick_.push_back(mc.get());
 
+    if (cfg_.fidelity == Fidelity::Hybrid) {
+        // The qspinlocks maintain the live waiter count; the network
+        // reads it to decide when the analytic fast path is safe.
+        for (auto &qs : qspins_)
+            qs->setWaiterCounter(&activeWaiters_);
+        network_->setFastpath(&activeWaiters_);
+    }
+
     if (cfg_.trace.enabled()) {
         tracer_ = std::make_unique<Tracer>(cfg_.trace);
         network_->setTracer(tracer_.get());
@@ -91,6 +101,8 @@ System::registerStats(StatsRegistry &reg, const std::string &prefix)
                   &net.packetsDelivered);
     reg.addScalar(prefix + ".net.lock_packets_delivered",
                   &net.lockPacketsDelivered);
+    reg.addScalar(prefix + ".net.fastpath_packets",
+                  &net.fastpathPackets);
     reg.addSample(prefix + ".net.packet_latency", &net.packetLatency);
     reg.addSample(prefix + ".net.lock_packet_latency",
                   &net.lockPacketLatency);
@@ -235,18 +247,83 @@ void
 System::tick(Cycle now)
 {
     network_->tick(now);
-    for (auto &l1 : l1s_)
+    // Legacy exact path: every component every cycle, by definition.
+    for (auto &l1 : l1s_)  // simlint: allow(unconditional-tick)
         l1->tick(now);
-    for (auto &l2 : l2s_)
+    for (auto &l2 : l2s_)  // simlint: allow(unconditional-tick)
         l2->tick(now);
-    for (auto &lm : lockMgrs_)
+    for (auto &lm : lockMgrs_)  // simlint: allow(unconditional-tick)
         lm->tick(now);
-    for (MemController *mc : mcTick_)
+    for (MemController *mc : mcTick_)  // simlint: allow(unconditional-tick)
         mc->tick(now);
-    for (auto &qs : qspins_)
+    for (auto &qs : qspins_)  // simlint: allow(unconditional-tick)
         qs->tick(now);
-    for (auto &c : cores_)
+    for (auto &c : cores_)  // simlint: allow(unconditional-tick)
         c->tick(now);
+}
+
+void
+System::tickEvent(Cycle now)
+{
+    if (netWake_ <= now)
+        network_->tickEvent(now);
+    for (auto &l1 : l1s_)
+        if (l1->nextWake() <= now)
+            l1->tick(now);
+    for (auto &l2 : l2s_)
+        if (l2->nextWake() <= now)
+            l2->tick(now);
+    for (auto &lm : lockMgrs_)
+        if (lm->nextWake() <= now)
+            lm->tick(now);
+    for (MemController *mc : mcTick_)
+        if (mc->nextWake() <= now)
+            mc->tick(now);
+    for (auto &qs : qspins_)
+        if (qs->nextWake() <= now)
+            qs->tick(now);
+    for (auto &c : cores_)
+        if (c->nextWake() <= now)
+            c->tick(now);
+    // All sends of this cycle have been queued by now (NI inject
+    // queues stamp ready = now + 1), so this scan sees them.
+    netWake_ = network_->nextWake(now);
+}
+
+Cycle
+System::componentWake(unsigned g, Cycle now) const
+{
+    Cycle w = neverCycle;
+    switch (g) {
+      case GNetwork:
+        return netWake_ <= now ? network_->nextWake(now) : netWake_;
+      case GL1:
+        for (const auto &l1 : l1s_)
+            w = std::min(w, l1->nextWake());
+        return w;
+      case GL2:
+        for (const auto &l2 : l2s_)
+            w = std::min(w, l2->nextWake());
+        return w;
+      case GLockMgr:
+        for (const auto &lm : lockMgrs_)
+            w = std::min(w, lm->nextWake());
+        return w;
+      case GMc:
+        for (const MemController *mc : mcTick_)
+            w = std::min(w, mc->nextWake());
+        return w;
+      case GQspin:
+        for (const auto &qs : qspins_)
+            w = std::min(w, qs->nextWake());
+        return w;
+      case GCore:
+        for (const auto &c : cores_)
+            w = std::min(w, c->nextWake());
+        return w;
+      default:
+        ocor_panic("componentWake: unknown group %u", g);
+    }
 }
 
 bool

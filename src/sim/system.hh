@@ -31,6 +31,25 @@
 namespace ocor
 {
 
+/**
+ * Component scheduling groups of the event-driven core, in the
+ * canonical slot order of System::tick(). The event wheel carries one
+ * entry per group (not per component), which bounds scheduler traffic
+ * while preserving the legacy intra-cycle component order exactly:
+ * a processed cycle ticks due groups in ascending rank.
+ */
+enum SimGroup : unsigned
+{
+    GNetwork = 0,
+    GL1,
+    GL2,
+    GLockMgr,
+    GMc,
+    GQspin,
+    GCore,
+    NumSystemGroups
+};
+
 /** One fully wired CMP instance. */
 class System
 {
@@ -45,6 +64,25 @@ class System
 
     /** Advance the whole system one cycle. */
     void tick(Cycle now);
+
+    /**
+     * Event-core variant of tick(): identical slot order, but each
+     * component is ticked only when its nextWake() marks cycle
+     * @p now as having work. Ticking a non-due component is a no-op
+     * by construction, so skipping preserves bit-identical behavior;
+     * the per-slot checks are evaluated lazily so that work created
+     * for a later slot earlier in the same cycle (e.g. a grant
+     * delivered by the network arming a qspinlock timer) is never
+     * missed.
+     */
+    void tickEvent(Cycle now);
+
+    /**
+     * Earliest future cycle group @p g needs a tick, as seen at the
+     * end of processed cycle @p now. May return cycles <= now (core
+     * wakes can be overdue); the event loop clamps to now + 1.
+     */
+    Cycle componentWake(unsigned g, Cycle now) const;
 
     /** All threads ran to completion. */
     bool allFinished() const;
@@ -131,6 +169,17 @@ class System
      * monotonically, so allFinished() is O(1) amortized instead of
      * a full scan per cycle. */
     mutable unsigned firstUnfinished_ = 0;
+
+    /** Next cycle the network needs a tick. Recomputed at the end of
+     * every processed cycle (after all injections of that cycle have
+     * been queued); the network slot runs first within a cycle, so
+     * nothing can move its due cycle earlier in between. */
+    Cycle netWake_ = 0;
+
+    /** Threads currently waiting on any lock word (hybrid-fidelity
+     * window oracle; maintained by the qspinlocks only when
+     * cfg.fidelity == Hybrid). */
+    unsigned activeWaiters_ = 0;
 };
 
 } // namespace ocor

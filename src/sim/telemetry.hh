@@ -69,6 +69,15 @@ class TelemetryRecorder
             points_ < maxPoints_;
     }
 
+    /** Next cycle due() can first turn true (neverCycle = no more
+     * samples will ever be taken; event-core wakeup plumbing). */
+    Cycle
+    nextDue() const
+    {
+        return (interval_ > 0 && points_ < maxPoints_) ? nextAt_
+                                                       : neverCycle;
+    }
+
     /** Take one snapshot of @p sys at cycle @p now. */
     void sample(Cycle now, System &sys);
 
