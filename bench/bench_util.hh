@@ -19,13 +19,29 @@
  *   --legacy-tick run on the legacy unconditional per-cycle tick loop
  *                 instead of the event-driven core (bit-identical
  *                 results, slower; for benchmarking the event core)
+ *   --profile P   restrict a suite bench to one benchmark profile by
+ *                 name (benches that run fixed profiles ignore it)
  *
- * Observability flags (all off by default; see DESIGN.md §10):
+ * Observability flags (all off by default; see DESIGN.md §10, §14):
+ *   --coh-ledger            attribute every COH cycle to a named
+ *                           cause (transfer / arbitration / backoff /
+ *                           sleep / grant gap), per lock and thread;
+ *                           ledger runs are cached separately
+ *   --coh-breakdown         (table3_summary) render the per-program
+ *                           COH cause split; implies --coh-ledger
+ *                           and writes coh_breakdown.json
+ *   --wake-profile          count event-core wakes, wasted wakes and
+ *                           wake edges per component group (pair
+ *                           with --fresh: cached runs don't execute
+ *                           and contribute no wake stats)
  *   --trace[=CATS]          enable event tracing for the categories
  *                           "lock", "noc", "sim" (comma-separated;
  *                           bare --trace means all)
  *   --trace-out FILE        trace destination (default trace.json;
  *                           a .csv suffix selects the CSV exporter)
+ *   --trace-capacity N      trace ring size in records (default
+ *                           2^19; size it above the run's emitted
+ *                           count or the export is incomplete)
  *   --stats-json FILE       dump the hierarchical stats registry
  *   --telemetry-interval N  sample interval telemetry every N cycles
  *   --telemetry-out FILE    telemetry CSV (default telemetry.csv)
@@ -69,6 +85,7 @@
 #include "sim/crashdump.hh"
 #include "sim/parallel_runner.hh"
 #include "sim/result_cache.hh"
+#include "sim/wake_profiler.hh"
 
 namespace ocor::bench
 {
@@ -83,13 +100,19 @@ struct Options
     unsigned jobs = 0; ///< 0 = ThreadPool::defaultConcurrency()
     Fidelity fidelity = Fidelity::Exact;
 
+    /** --profile: restrict suite benches to one profile ("" = all). */
+    std::string profileFilter;
+
     // --- observability (every knob off/empty by default) -----------
     std::string traceCats;      ///< "" = tracing off
     std::string traceOut = "trace.json";
+    std::size_t traceCapacity = std::size_t{1} << 19; ///< ring slots
     std::string statsJson;      ///< "" = no stats dump
     Cycle telemetryInterval = 0;
     std::string telemetryOut = "telemetry.csv";
     bool poolUtil = false;
+    bool cohLedger = false;     ///< --coh-ledger (DESIGN.md §14)
+    bool cohBreakdown = false;  ///< --coh-breakdown (implies ledger)
 
     /** --check selection ("" = the build's default mask). */
     std::string checkList;
@@ -140,7 +163,18 @@ struct Options
         exp.seed = seed;
         exp.check.checks = checkMask();
         exp.fidelity = fidelity;
+        exp.cohLedger = cohLedger;
         return exp;
+    }
+
+    /** The profiles a suite bench should run: allProfiles(), or the
+     * single --profile selection (unknown names abort loudly). */
+    std::vector<BenchmarkProfile>
+    profiles() const
+    {
+        if (profileFilter.empty())
+            return allProfiles();
+        return {profileByName(profileFilter)};
     }
 };
 
@@ -242,6 +276,20 @@ parseOptions(int argc, char **argv)
             }
         } else if (a == "--legacy-tick")
             Simulator::setDefaultCoreMode(SimCoreMode::Legacy);
+        else if (valueOf("--profile", v))
+            opt.profileFilter = v;
+        else if (a == "--coh-ledger")
+            opt.cohLedger = true;
+        else if (a == "--coh-breakdown") {
+            // The breakdown table is rendered from ledger cause
+            // counters, so the flag implies --coh-ledger.
+            opt.cohBreakdown = true;
+            opt.cohLedger = true;
+        }
+        else if (a == "--wake-profile")
+            // Process-wide so runs deep inside the result cache /
+            // parallel runner are profiled too.
+            Simulator::setDefaultWakeProfile(true);
         else if (a == "--jobs")
             opt.jobs = static_cast<unsigned>(std::atoi(next()));
         else if (a == "--trace")
@@ -250,6 +298,9 @@ parseOptions(int argc, char **argv)
             opt.traceCats = v;
         else if (valueOf("--trace-out", v))
             opt.traceOut = v;
+        else if (valueOf("--trace-capacity", v))
+            opt.traceCapacity = static_cast<std::size_t>(
+                std::strtoull(v.c_str(), nullptr, 10));
         else if (valueOf("--stats-json", v))
             opt.statsJson = v;
         else if (valueOf("--telemetry-interval", v))
@@ -280,8 +331,11 @@ parseOptions(int argc, char **argv)
                          "usage: %s [--threads N] [--iters N] "
                          "[--seed N] [--quick] [--fresh] "
                          "[--fidelity exact|hybrid] [--legacy-tick] "
+                         "[--profile P] [--coh-ledger] "
+                         "[--coh-breakdown] [--wake-profile] "
                          "[--jobs N] [--trace[=CATS]] "
-                         "[--trace-out FILE] [--stats-json FILE] "
+                         "[--trace-out FILE] [--trace-capacity N] "
+                         "[--stats-json FILE] "
                          "[--telemetry-interval N] "
                          "[--telemetry-out FILE] [--pool-util] "
                          "[--check[=LIST]] [--deadline SEC] "
@@ -371,6 +425,28 @@ openArtifact(const std::string &path)
         std::exit(1);
     }
     return out;
+}
+
+/**
+ * The --stats-json export shared by every suite bench: the runner's
+ * sweep counters (cache hit rates, pool utilization, degraded runs)
+ * plus the process-global run aggregates — "sim.wall.*" wall-clock
+ * phase totals and, after any --wake-profile run, "sim.wake.*" wake
+ * attribution. No-op without --stats-json.
+ */
+inline void
+dumpStatsJson(const Options &opt, ParallelRunner *runner)
+{
+    if (opt.statsJson.empty())
+        return;
+    StatsRegistry reg;
+    if (runner)
+        runner->registerStats(reg);
+    registerAggregateStats(reg);
+    std::ofstream out = openArtifact(opt.statsJson);
+    reg.dumpJson(out);
+    std::printf("stats: %zu entries -> %s\n", reg.size(),
+                opt.statsJson.c_str());
 }
 
 /**

@@ -51,5 +51,6 @@ main(int argc, char **argv)
                 cs_sum / profiles.size(), coh_sum / profiles.size());
     std::printf("\nPaper's observation: COH is several times the CS "
                 "execution time itself.\n");
+    dumpStatsJson(opt, &runner);
     return sweepExitStatus(runner);
 }

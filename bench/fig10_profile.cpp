@@ -48,8 +48,10 @@ computeRun(const BenchmarkProfile &profile, const Options &opt,
     cfg.seed = opt.seed;
     cfg.ocor.enabled = ocor_on;
     cfg.check.checks = opt.checkMask();
-    if (observe && opt.tracing())
+    if (observe && opt.tracing()) {
         cfg.trace.categories = parseTraceCats(opt.traceCats);
+        cfg.trace.capacity = opt.traceCapacity;
+    }
 
     SyntheticParams wl = profile.workload;
     wl.iterations = opt.iterations;
@@ -62,6 +64,9 @@ computeRun(const BenchmarkProfile &profile, const Options &opt,
     sim_opts.timelineThreads = 16;
     if (observe) {
         sim_opts.telemetryInterval = opt.telemetryInterval;
+        // --coh-ledger surfaces the per-lock COH cause histograms
+        // ("sim.coh.*") in this run's stats dump.
+        sim_opts.cohLedger = opt.cohLedger;
         // The stats dump carries sim.wall.* (tick vs accounting vs
         // event scheduling); the phase split needs the profiler on.
         sim_opts.profileWall = !opt.statsJson.empty();
@@ -78,6 +83,10 @@ computeRun(const BenchmarkProfile &profile, const Options &opt,
         if (!opt.statsJson.empty()) {
             StatsRegistry reg;
             sim.registerStats(reg);
+            // Process-global aggregates ride along (the sim.wall.*
+            // keys above win; sim.wake.* appears under
+            // --wake-profile).
+            registerAggregateStats(reg);
             std::ofstream out = openArtifact(opt.statsJson);
             reg.dumpJson(out);
             std::printf("stats: %zu entries -> %s\n", reg.size(),

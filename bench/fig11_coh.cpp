@@ -24,8 +24,10 @@ main(int argc, char **argv)
     ResultCache cache = cacheFor(opt);
     ParallelRunner runner(opt.jobs, &cache);
     superviseRunner(runner, opt);
+    // --profile narrows the sweep to one benchmark (the README's
+    // wake-attribution walkthrough profiles a single slow profile).
     std::vector<BenchmarkResult> results =
-        runner.runSuite(allProfiles(), opt.experiment());
+        runner.runSuite(opt.profiles(), opt.experiment());
 
     std::sort(results.begin(), results.end(),
               [](const BenchmarkResult &a, const BenchmarkResult &b) {
@@ -52,8 +54,10 @@ main(int argc, char **argv)
         }
     }
     std::printf("averages: PARSEC %.1f%% | OMP2012 %.1f%% | "
-                "overall %.1f%%\n", parsec_sum / parsec_n,
-                omp_sum / omp_n, sum / results.size());
+                "overall %.1f%%\n",
+                parsec_n ? parsec_sum / parsec_n : 0.0,
+                omp_n ? omp_sum / omp_n : 0.0,
+                sum / results.size());
     std::printf("(paper: PARSEC 40.4%%, OMP2012 39.3%%, overall "
                 "39.9%%, max 61.8%% botss, min 12.5%% imag)\n");
 
@@ -70,5 +74,26 @@ main(int argc, char **argv)
     }
     std::printf("average gain: %+.1f points (paper: +33.1)\n",
                 gain_sum / results.size());
+
+    // Machine-readable COH summary for the regression tracker:
+    // run_benches.sh folds this into BENCH_sweep.json ("coh") and
+    // scripts/bench_compare.py diffs it against a baseline sweep.
+    {
+        std::ofstream cj = openArtifact("coh_summary.json");
+        cj << "{\n  \"programs\": {\n";
+        for (std::size_t i = 0; i < results.size(); ++i)
+            cj << "    \"" << results[i].name << "\": "
+               << results[i].cohImprovementPct()
+               << (i + 1 < results.size() ? ",\n" : "\n");
+        cj << "  },\n";
+        cj << "  \"parsec_mean\": "
+           << (parsec_n ? parsec_sum / parsec_n : 0.0) << ",\n";
+        cj << "  \"omp_mean\": "
+           << (omp_n ? omp_sum / omp_n : 0.0) << ",\n";
+        cj << "  \"overall_mean\": " << sum / results.size() << ",\n";
+        cj << "  \"spin_win_gain_mean_pts\": "
+           << gain_sum / results.size() << "\n}\n";
+    }
+    dumpStatsJson(opt, &runner);
     return sweepExitStatus(runner);
 }

@@ -78,5 +78,6 @@ main(int argc, char **argv)
                 "COH reduction) show high CS access\nrates and high "
                 "network utilization; the bottom entries are low on "
                 "both axes.\n");
+    dumpStatsJson(opt, &runner);
     return sweepExitStatus(runner);
 }

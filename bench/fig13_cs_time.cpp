@@ -45,5 +45,6 @@ main(int argc, char **argv)
     }
     std::printf("average relative CS time: %.3f (paper: ~1.0, "
                 "negligible effect)\n", rel_sum / n);
+    dumpStatsJson(opt, &runner);
     return sweepExitStatus(runner);
 }

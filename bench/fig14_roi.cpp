@@ -64,5 +64,6 @@ main(int argc, char **argv)
                 omp_sum / omp_n, sum / results.size());
     std::printf("(paper: PARSEC 13.7%%, OMP2012 15.1%%, overall "
                 "14.4%%, max 24.5%% ilbdc)\n");
+    dumpStatsJson(opt, &runner);
     return sweepExitStatus(runner);
 }

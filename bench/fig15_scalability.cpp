@@ -69,5 +69,6 @@ main(int argc, char **argv)
                 "the right (more threads ->\nmore competition -> "
                 "larger reduction), and high CS-rate/high net-util\n"
                 "programs (botss, ilbdc) drop the furthest.\n");
+    dumpStatsJson(opt, &runner);
     return sweepExitStatus(runner);
 }

@@ -159,5 +159,6 @@ main(int argc, char **argv)
     else
         std::printf("\n(run with --ablate for the Table-1 rule "
                     "ablation study)\n");
+    dumpStatsJson(opt, &runner);
     return sweepExitStatus(runner);
 }

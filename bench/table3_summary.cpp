@@ -7,12 +7,14 @@
  */
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.hh"
+#include "os/lock_ledger.hh"
 #include "workload/benchmarks.hh"
 
 using namespace ocor;
@@ -30,7 +32,7 @@ main(int argc, char **argv)
     superviseRunner(runner, opt);
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<BenchmarkResult> results =
-        runner.runSuite(allProfiles(), opt.experiment());
+        runner.runSuite(opt.profiles(), opt.experiment());
     const double elapsed = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - t0).count();
 
@@ -89,6 +91,65 @@ main(int argc, char **argv)
                     r.ocor.p99PacketLatency, r.ocor.p50LockHandover,
                     r.ocor.p95LockHandover, r.ocor.p99LockHandover);
 
+    // COH cause breakdown (--coh-breakdown, DESIGN.md §14): how each
+    // program's competition overhead splits into transfer /
+    // arbitration / backoff / sleep / grant-gap cycles, original vs
+    // OCOR. The rows also land in coh_breakdown.json for CI.
+    if (opt.cohBreakdown) {
+        auto causes = [](const RunMetrics &m) {
+            std::array<std::uint64_t, kNumCohCauses> c{};
+            for (const auto &t : m.perThread) {
+                c[0] += t.cohTransferCycles;
+                c[1] += t.cohArbitrationCycles;
+                c[2] += t.cohBackoffCycles;
+                c[3] += t.cohSleepCycles;
+                c[4] += t.cohGrantGapCycles;
+            }
+            return c;
+        };
+        std::printf("\nCOH cause breakdown (%% of each run's COH):\n");
+        std::printf("%-8s %-6s %12s %9s %9s %9s %9s %9s\n",
+                    "program", "run", "COH cycles", "transfer",
+                    "arbitr.", "backoff", "sleep", "grantgap");
+        std::ofstream cj = openArtifact("coh_breakdown.json");
+        cj << "[\n";
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const BenchmarkResult &r = results[i];
+            const RunMetrics *runs[2] = {&r.base, &r.ocor};
+            const char *labels[2] = {"base", "ocor"};
+            for (int k = 0; k < 2; ++k) {
+                const RunMetrics &m = *runs[k];
+                const auto c = causes(m);
+                const double coh =
+                    static_cast<double>(m.totalCoh());
+                auto pct = [&](std::uint64_t v) {
+                    return coh == 0.0 ? 0.0 : 100.0 * v / coh;
+                };
+                std::printf("%-8s %-6s %12llu %8.1f%% %8.1f%% "
+                            "%8.1f%% %8.1f%% %8.1f%%\n",
+                            k == 0 ? r.name.c_str() : "",
+                            labels[k],
+                            static_cast<unsigned long long>(
+                                m.totalCoh()),
+                            pct(c[0]), pct(c[1]), pct(c[2]),
+                            pct(c[3]), pct(c[4]));
+                cj << "  {\"name\": \"" << r.name
+                   << "\", \"run\": \"" << labels[k]
+                   << "\", \"coh_cycles\": " << m.totalCoh();
+                for (std::size_t ci = 0; ci < kNumCohCauses; ++ci)
+                    cj << ", \"" << cohCauseName(
+                              static_cast<CohCause>(ci))
+                       << "\": " << c[ci];
+                cj << "}"
+                   << (i + 1 < results.size() || k == 0 ? "," : "")
+                   << "\n";
+            }
+        }
+        cj << "]\n";
+        std::printf("(-> coh_breakdown.json; causes sum to each "
+                    "run's COH by construction)\n");
+    }
+
     // Hybrid-fidelity accuracy: rerun the table under exact fidelity
     // (a pure cache recall when the exact sweep already ran) and
     // quantify the error the analytic fast path introduces in the
@@ -98,7 +159,7 @@ main(int argc, char **argv)
         ExperimentConfig exact_exp = opt.experiment();
         exact_exp.fidelity = Fidelity::Exact;
         std::vector<BenchmarkResult> exact =
-            runner.runSuite(allProfiles(), exact_exp);
+            runner.runSuite(opt.profiles(), exact_exp);
 
         std::printf("\nhybrid-fidelity accuracy vs exact:\n");
         std::printf("%-8s %12s %12s %10s %12s\n", "program",
@@ -132,6 +193,21 @@ main(int argc, char **argv)
             std::printf("%-8s %11.1f%% %11.1f%% %9.1f %11.1f%%\n",
                         e.name.c_str(), e.cohImprovementPct(),
                         it->cohImprovementPct(), d, 100.0 * rel);
+            // Window coverage (share of the run spent inside open
+            // fast-path windows) and analytic delivery share let CI
+            // correlate hybrid error with how much of the run the
+            // analytic model actually carried.
+            const RunMetrics &hb = it->base;
+            double coverage = hb.roiFinish == 0
+                ? 0.0
+                : static_cast<double>(hb.windowCycles)
+                    / static_cast<double>(hb.roiFinish);
+            double total_pkts = static_cast<double>(
+                hb.packetsInjected + hb.fastpathPackets);
+            double analytic_share = total_pkts == 0.0
+                ? 0.0
+                : static_cast<double>(hb.fastpathPackets)
+                    / total_pkts;
             aj << "  {\"name\": \"" << e.name
                << "\", \"coh_improvement_exact\": "
                << e.cohImprovementPct()
@@ -140,7 +216,12 @@ main(int argc, char **argv)
                << ", \"delta_pts\": " << d
                << ", \"base_coh_pct_exact\": " << e.base.cohPct()
                << ", \"base_coh_pct_hybrid\": " << it->base.cohPct()
-               << ", \"base_coh_rel_err\": " << rel << "}"
+               << ", \"base_coh_rel_err\": " << rel
+               << ", \"window_coverage\": " << coverage
+               << ", \"analytic_share\": " << analytic_share
+               << ", \"windows_opened\": " << hb.windowsOpened
+               << ", \"windows_closed\": " << hb.windowsClosed
+               << "}"
                << (i + 1 < exact.size() ? "," : "") << "\n";
         }
         aj << "]\n";
@@ -164,13 +245,6 @@ main(int argc, char **argv)
                         runner.runsExecuted()),
                     rs.mean(), rs.max());
     }
-    if (!opt.statsJson.empty()) {
-        StatsRegistry reg;
-        runner.registerStats(reg);
-        std::ofstream out = openArtifact(opt.statsJson);
-        reg.dumpJson(out);
-        std::printf("stats: %zu entries -> %s\n", reg.size(),
-                    opt.statsJson.c_str());
-    }
+    dumpStatsJson(opt, &runner);
     return sweepExitStatus(runner);
 }

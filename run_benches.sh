@@ -31,6 +31,11 @@
 #                     results journal from an interrupted sweep, so
 #                     only configurations whose rows never became
 #                     durable are re-simulated
+#   --baseline FILE   after the sweep, diff build/BENCH_sweep.json
+#                     against FILE (a previous sweep's JSON) with
+#                     scripts/bench_compare.py; a wall-clock, status
+#                     or COH regression fails the script (exit 1) and
+#                     the comparison lands in build/bench_compare.json
 #   anything else is forwarded verbatim to every simulation bench
 #   (e.g. --iters 8 --seed 3), after the curated per-bench flags so
 #   user flags win.
@@ -44,6 +49,7 @@
 # bench failed hard (or 75 if benches only degraded).
 set -euo pipefail
 SELF="$(readlink -f "$0")"
+ORIG_PWD="$PWD"
 cd "$(dirname "$SELF")/build"
 
 JOBS="${OCOR_JOBS:-$(nproc)}"
@@ -52,6 +58,7 @@ COMPARE_SERIAL=0
 COMPARE_EVENT=0
 OBSERVE=0
 RESUME=0
+BASELINE=""
 EXTRA=()
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -62,8 +69,10 @@ while [ $# -gt 0 ]; do
       --compare-event) COMPARE_EVENT=1; shift ;;
       --observe) OBSERVE=1; shift ;;
       --resume) RESUME=1; shift ;;
+      --baseline) BASELINE="$2"; shift 2 ;;
+      --baseline=*) BASELINE="${1#--baseline=}"; shift ;;
       -h|--help)
-        sed -n '2,37p' "$SELF" | sed 's/^# \{0,1\}//'
+        sed -n '2,42p' "$SELF" | sed 's/^# \{0,1\}//'
         exit 0 ;;
       *) EXTRA+=("$1"); shift ;;
     esac
@@ -79,6 +88,16 @@ fi
 if [ "$COMPARE_SERIAL" -eq 1 ] && [ "$COMPARE_EVENT" -eq 1 ]; then
     echo "error: pick one of --compare-serial / --compare-event" >&2
     exit 1
+fi
+if [ -n "$BASELINE" ]; then
+    case "$BASELINE" in
+      /*) ;;
+      *) BASELINE="$ORIG_PWD/$BASELINE" ;;
+    esac
+    if [ ! -f "$BASELINE" ]; then
+        echo "error: --baseline $BASELINE: no such file" >&2
+        exit 1
+    fi
 fi
 if [ "$RESUME" -eq 1 ]; then
     if [ -f ocor_results.tsv ]; then
@@ -97,12 +116,17 @@ OBS_FIG10=()
 OBS_TABLE3=()
 if [ "$OBSERVE" -eq 1 ]; then
     OBS_FIG10=(--trace=lock,noc,sim --trace-out trace.json
+               --trace-capacity 2097152
                --stats-json stats.json --telemetry-interval 200
-               --telemetry-out telemetry.csv)
+               --telemetry-out telemetry.csv --coh-ledger
+               --wake-profile)
     OBS_TABLE3=(--pool-util --stats-json runner_stats.json)
 fi
 
 SWEEP_JSON="BENCH_sweep.json"
+# A stale COH summary from an earlier sweep must never be folded
+# into this sweep's JSON (fig11 rewrites it on every run).
+rm -f coh_summary.json
 RECORD=1
 ROWS=()
 FAILED=()
@@ -330,6 +354,37 @@ print("pool utilization folded into", sweep_path)
 PYEOF
 fi
 
+# Fold fig11's COH summary into the sweep JSON, keyed "coh", so a
+# baseline comparison covers result quality as well as wall clock.
+if [ -f coh_summary.json ] && command -v python3 > /dev/null; then
+    python3 - "$SWEEP_JSON" coh_summary.json <<'PYEOF'
+import json
+import sys
+
+sweep_path, coh_path = sys.argv[1], sys.argv[2]
+with open(sweep_path) as f:
+    sweep = json.load(f)
+with open(coh_path) as f:
+    sweep["coh"] = json.load(f)
+with open(sweep_path, "w") as f:
+    json.dump(sweep, f, indent=2)
+    f.write("\n")
+print("COH summary folded into", sweep_path)
+PYEOF
+fi
+
+# Extra bench_compare.py flags (e.g. looser wall-clock thresholds on
+# shared CI runners) come from $OCOR_BENCH_COMPARE_FLAGS.
+COMPARE_STATUS=0
+if [ -n "$BASELINE" ]; then
+    echo
+    # shellcheck disable=SC2086  # the flags variable is a word list
+    python3 "$(dirname "$SELF")/scripts/bench_compare.py" \
+        "$BASELINE" "$SWEEP_JSON" --out bench_compare.json \
+        ${OCOR_BENCH_COMPARE_FLAGS:-} \
+        || COMPARE_STATUS=$?
+fi
+
 echo
 echo "sweep finished in ${TOTAL_SECONDS}s" \
      "(jobs=$JOBS; timings: build/$SWEEP_JSON)"
@@ -344,6 +399,11 @@ if [ "$COMPARE_EVENT" -eq 1 ]; then
 fi
 if [ "${#FAILED[@]}" -gt 0 ]; then
     echo "failed benches: ${FAILED[*]}" >&2
+    exit 1
+fi
+if [ "$COMPARE_STATUS" -ne 0 ]; then
+    echo "baseline comparison regressed" \
+         "(details: build/bench_compare.json)" >&2
     exit 1
 fi
 if [ "${#DEGRADED[@]}" -gt 0 ]; then

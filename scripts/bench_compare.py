@@ -1,0 +1,309 @@
+#!/usr/bin/env python3
+"""Compare two bench-sweep result files and flag regressions.
+
+Usage: bench_compare.py BASELINE.json CURRENT.json [options]
+       bench_compare.py --self-test
+
+Both inputs are BENCH_sweep.json files written by run_benches.sh
+(optionally with a "coh" block folded in from fig11's
+coh_summary.json). The comparison flags a regression when:
+
+  * a bench that was "ok" in the baseline is "degraded"/"failed" in
+    the current run, or disappeared entirely;
+  * a bench's wall clock exceeds baseline * --wall-ratio AND grew by
+    more than --wall-floor seconds (the floor keeps sub-second
+    benches from tripping on scheduler noise);
+  * the sweep's total wall clock trips the same ratio + floor;
+  * the overall mean COH reduction dropped by more than
+    --coh-drop-pts percentage points, or any single program's
+    reduction dropped by more than --coh-program-drop-pts.
+
+Status *improvements*, wall-clock speedups, and COH gains are
+reported but never fail the comparison. Exits 0 when clean, 1 on any
+regression, 2 on malformed input. --out writes the full comparison
+as JSON (the CI artifact).
+
+Options:
+  --wall-ratio R            per-bench slowdown ratio (default 2.0)
+  --wall-floor S            absolute growth floor, seconds (default 10)
+  --coh-drop-pts P          overall mean COH drop (default 3.0 pts)
+  --coh-program-drop-pts P  per-program COH drop (default 10.0 pts)
+  --out FILE                write comparison JSON to FILE
+  --self-test               run the built-in self check and exit
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"bench_compare: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def parse_args(argv):
+    opts = {
+        "wall_ratio": 2.0,
+        "wall_floor": 10.0,
+        "coh_drop_pts": 3.0,
+        "coh_program_drop_pts": 10.0,
+        "out": None,
+    }
+    paths = []
+    i = 1
+    while i < len(argv):
+        a = argv[i]
+        if a == "--self-test":
+            sys.exit(self_test())
+        elif a in ("-h", "--help"):
+            print(__doc__)
+            sys.exit(0)
+        elif a == "--wall-ratio":
+            opts["wall_ratio"] = float(argv[i + 1]); i += 2
+        elif a == "--wall-floor":
+            opts["wall_floor"] = float(argv[i + 1]); i += 2
+        elif a == "--coh-drop-pts":
+            opts["coh_drop_pts"] = float(argv[i + 1]); i += 2
+        elif a == "--coh-program-drop-pts":
+            opts["coh_program_drop_pts"] = float(argv[i + 1]); i += 2
+        elif a == "--out":
+            opts["out"] = argv[i + 1]; i += 2
+        elif a.startswith("-"):
+            fail(f"unknown option {a}")
+        else:
+            paths.append(a); i += 1
+    if len(paths) != 2:
+        fail("expected BASELINE.json CURRENT.json (see --help)")
+    return paths[0], paths[1], opts
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            sweep = json.load(f)
+    except (OSError, ValueError) as e:
+        fail(f"{path}: {e}")
+    if "benches" not in sweep or not isinstance(sweep["benches"],
+                                               list):
+        fail(f"{path}: no 'benches' array; not a BENCH_sweep.json?")
+    return sweep
+
+
+STATUS_RANK = {"ok": 0, "degraded": 1, "failed": 2}
+
+
+def compare(base, cur, opts):
+    """Return (regressions, notes, rows) for the two sweeps."""
+    regressions = []
+    notes = []
+    rows = []
+
+    base_by = {b["name"]: b for b in base["benches"]}
+    cur_by = {b["name"]: b for b in cur["benches"]}
+
+    def slower(b_sec, c_sec):
+        return (c_sec > b_sec * opts["wall_ratio"]
+                and c_sec - b_sec > opts["wall_floor"])
+
+    for name, b in base_by.items():
+        c = cur_by.get(name)
+        if c is None:
+            regressions.append(f"{name}: present in baseline but "
+                               "missing from current sweep")
+            continue
+        row = {
+            "name": name,
+            "baseline_seconds": b["seconds"],
+            "current_seconds": c["seconds"],
+            "baseline_status": b["status"],
+            "current_status": c["status"],
+        }
+        rows.append(row)
+        br = STATUS_RANK.get(b["status"], 2)
+        cr = STATUS_RANK.get(c["status"], 2)
+        if cr > br:
+            regressions.append(
+                f"{name}: status {b['status']} -> {c['status']}")
+        elif cr < br:
+            notes.append(
+                f"{name}: status improved {b['status']} -> "
+                f"{c['status']}")
+        if slower(b["seconds"], c["seconds"]):
+            regressions.append(
+                f"{name}: wall clock {b['seconds']:.1f}s -> "
+                f"{c['seconds']:.1f}s (> {opts['wall_ratio']:.1f}x "
+                f"and +{opts['wall_floor']:.0f}s)")
+    for name in cur_by:
+        if name not in base_by:
+            notes.append(f"{name}: new bench (no baseline)")
+
+    bt, ct = base.get("total_seconds"), cur.get("total_seconds")
+    if bt is not None and ct is not None:
+        if slower(bt, ct):
+            regressions.append(f"total: wall clock {bt:.1f}s -> "
+                               f"{ct:.1f}s")
+        elif ct < bt:
+            notes.append(f"total: {bt:.1f}s -> {ct:.1f}s (faster)")
+
+    # COH quality: only comparable when both sweeps folded in
+    # fig11's coh_summary.json (run_benches.sh does this whenever
+    # fig11 ran).
+    bc, cc = base.get("coh"), cur.get("coh")
+    if bc and cc:
+        bo, co = bc.get("overall_mean"), cc.get("overall_mean")
+        if bo is not None and co is not None:
+            drop = bo - co
+            if drop > opts["coh_drop_pts"]:
+                regressions.append(
+                    f"coh: overall mean reduction {bo:.1f}% -> "
+                    f"{co:.1f}% (dropped {drop:.1f} pts)")
+            elif drop < 0:
+                notes.append(f"coh: overall mean reduction improved "
+                             f"{bo:.1f}% -> {co:.1f}%")
+        for prog, bv in (bc.get("programs") or {}).items():
+            cv = (cc.get("programs") or {}).get(prog)
+            if cv is None:
+                continue
+            if bv - cv > opts["coh_program_drop_pts"]:
+                regressions.append(
+                    f"coh[{prog}]: reduction {bv:.1f}% -> {cv:.1f}% "
+                    f"(dropped {bv - cv:.1f} pts)")
+    elif bc and not cc:
+        regressions.append("coh: baseline has COH metrics but the "
+                           "current sweep has none (fig11 leg "
+                           "missing?)")
+
+    return regressions, notes, rows
+
+
+def run(base_path, cur_path, opts):
+    base = load(base_path)
+    cur = load(cur_path)
+    regressions, notes, rows = compare(base, cur, opts)
+
+    print(f"bench_compare: {cur_path} vs baseline {base_path}")
+    print(f"{'bench':<22} {'base':>9} {'cur':>9} {'ratio':>7}  "
+          "status")
+    for r in rows:
+        ratio = (r["current_seconds"] / r["baseline_seconds"]
+                 if r["baseline_seconds"] else float("inf"))
+        st = r["current_status"]
+        if r["current_status"] != r["baseline_status"]:
+            st = f"{r['baseline_status']}->{r['current_status']}"
+        print(f"{r['name']:<22} {r['baseline_seconds']:>8.1f}s "
+              f"{r['current_seconds']:>8.1f}s {ratio:>6.2f}x  {st}")
+    for n in notes:
+        print(f"note: {n}")
+    for r in regressions:
+        print(f"REGRESSION: {r}")
+    verdict = "REGRESSED" if regressions else "OK"
+    print(f"bench_compare: {verdict} "
+          f"({len(regressions)} regression(s), {len(notes)} note(s))")
+
+    if opts["out"]:
+        with open(opts["out"], "w") as f:
+            json.dump({
+                "baseline": base_path,
+                "current": cur_path,
+                "thresholds": {k: v for k, v in opts.items()
+                               if k != "out"},
+                "rows": rows,
+                "notes": notes,
+                "regressions": regressions,
+                "verdict": verdict,
+            }, f, indent=2)
+            f.write("\n")
+        print(f"comparison written to {opts['out']}")
+
+    return 1 if regressions else 0
+
+
+def self_test():
+    """Self-compare must pass; injected regressions must fail."""
+    import copy
+    import io
+    from contextlib import redirect_stdout
+
+    sweep = {
+        "jobs": 4, "quick": True,
+        "benches": [
+            {"name": "fig11_coh", "seconds": 30.0, "status": "ok",
+             "exit_code": 0},
+            {"name": "table3_summary", "seconds": 45.0,
+             "status": "ok", "exit_code": 0},
+            {"name": "micro_router", "seconds": 0.4, "status": "ok",
+             "exit_code": 0},
+        ],
+        "total_seconds": 80.0,
+        "coh": {"programs": {"can": 55.0, "body": 40.0},
+                "overall_mean": 47.5},
+    }
+    opts = {"wall_ratio": 2.0, "wall_floor": 10.0,
+            "coh_drop_pts": 3.0, "coh_program_drop_pts": 10.0,
+            "out": None}
+
+    def expect(label, cur, want_regression):
+        reg, _, _ = compare(sweep, cur, opts)
+        if bool(reg) != want_regression:
+            print(f"self-test FAILED [{label}]: regressions={reg}",
+                  file=sys.stderr)
+            return False
+        return True
+
+    ok = True
+    ok &= expect("self-compare", copy.deepcopy(sweep), False)
+
+    slow = copy.deepcopy(sweep)
+    slow["benches"][0]["seconds"] = 90.0  # 3x and +60s
+    ok &= expect("wall-clock regression", slow, True)
+
+    noisy = copy.deepcopy(sweep)
+    noisy["benches"][2]["seconds"] = 1.5  # 3.75x but under the floor
+    ok &= expect("sub-floor noise tolerated", noisy, False)
+
+    broken = copy.deepcopy(sweep)
+    broken["benches"][1]["status"] = "failed"
+    ok &= expect("status regression", broken, True)
+
+    gone = copy.deepcopy(sweep)
+    gone["benches"] = gone["benches"][1:]
+    ok &= expect("missing bench", gone, True)
+
+    worse_coh = copy.deepcopy(sweep)
+    worse_coh["coh"]["overall_mean"] = 40.0  # -7.5 pts
+    ok &= expect("overall COH drop", worse_coh, True)
+
+    prog_coh = copy.deepcopy(sweep)
+    prog_coh["coh"]["programs"]["can"] = 30.0  # -25 pts
+    ok &= expect("per-program COH drop", prog_coh, True)
+
+    # End-to-end through run(): write both files, self-compare.
+    import os
+    import tempfile
+    with tempfile.TemporaryDirectory() as d:
+        a = os.path.join(d, "base.json")
+        b = os.path.join(d, "cur.json")
+        out = os.path.join(d, "cmp.json")
+        for p in (a, b):
+            with open(p, "w") as f:
+                json.dump(sweep, f)
+        o = dict(opts, out=out)
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            rc = run(a, b, o)
+        if rc != 0 or not os.path.exists(out):
+            print("self-test FAILED [run() self-compare]",
+                  file=sys.stderr)
+            ok = False
+
+    print("bench_compare self-test:", "OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+def main(argv):
+    base_path, cur_path, opts = parse_args(argv)
+    sys.exit(run(base_path, cur_path, opts))
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -74,7 +74,103 @@ def check_stats(path):
     if violations > 0:
         fail(f"{path}: {int(violations)} invariant-checker "
              "violations recorded")
+    check_coh_ledger(path, stats)
+    check_wake(path, stats)
+    check_windows(path, stats)
     print(f"{path}: OK ({len(stats)} entries)")
+
+
+COH_CAUSES = ["transfer", "arbitration", "backoff", "sleep",
+              "grant_gap"]
+WAKE_GROUPS = ["network", "l1", "l2", "lockmgr", "mc", "qspin",
+               "core"]
+
+
+def check_coh_ledger(path, stats):
+    """COH-cause ledger (DESIGN.md §14): present under --coh-ledger.
+
+    The cause split must cover the COH exactly — both the ledger's
+    own summary and the per-thread counters it mirrors.
+    """
+    if "sim.coh.total_cycles" not in stats:
+        return
+    total = stats["sim.coh.total_cycles"]
+    causes = {}
+    for c in COH_CAUSES:
+        key = f"sim.coh.cause.{c}"
+        if key not in stats:
+            fail(f"{path}: ledger present but '{key}' missing")
+        causes[c] = stats[key]
+        if causes[c] < 0:
+            fail(f"{path}: {key} is negative ({causes[c]})")
+    if sum(causes.values()) != total:
+        fail(f"{path}: COH causes sum to {sum(causes.values())} but "
+             f"sim.coh.total_cycles is {total}")
+
+    # The per-thread mirror: Σ coh_*_cycles == Σ blocked_idle_cycles
+    # == the ledger total (the causes are charged at the same
+    # accounting sites that charge blocked-idle).
+    thread_coh = 0.0
+    thread_idle = 0.0
+    for k, v in stats.items():
+        if not k.startswith("system.thread"):
+            continue
+        if k.endswith(".blocked_idle_cycles"):
+            thread_idle += v
+        elif ".coh_" in k and k.endswith("_cycles"):
+            thread_coh += v
+    if thread_coh != thread_idle:
+        fail(f"{path}: per-thread COH causes sum to {thread_coh} "
+             f"but blocked-idle cycles sum to {thread_idle}")
+    if thread_idle != total:
+        fail(f"{path}: ledger total {total} != per-thread "
+             f"blocked-idle total {thread_idle}")
+    if stats.get("sim.coh.locks", 0) < 1 and total > 0:
+        fail(f"{path}: {total} COH cycles attributed but no per-lock "
+             "ledger entries")
+    print(f"{path}: COH ledger OK ({int(total)} cycles over "
+          f"{len(COH_CAUSES)} causes)")
+
+
+def check_wake(path, stats):
+    """Wake profiler (--wake-profile): sane per-group counters."""
+    if "sim.wake.cycles_profiled" not in stats:
+        return
+    cycles = stats["sim.wake.cycles_profiled"]
+    if cycles <= 0:
+        fail(f"{path}: sim.wake.* present but no cycles profiled")
+    for g in WAKE_GROUPS:
+        wakes = stats.get(f"sim.wake.{g}.wakes", 0)
+        wasted = stats.get(f"sim.wake.{g}.wasted", 0)
+        if wakes < 0 or wasted < 0:
+            fail(f"{path}: negative wake counter for group '{g}'")
+        if wasted > wakes:
+            fail(f"{path}: group '{g}' has more wasted wakes "
+                 f"({wasted}) than wakes ({wakes})")
+        if wakes > cycles:
+            fail(f"{path}: group '{g}' woke {wakes} times in "
+                 f"{cycles} profiled cycles")
+    print(f"{path}: wake profile OK ({int(cycles)} cycles)")
+
+
+def check_windows(path, stats):
+    """Hybrid fast-path windows: close causes must cover the closes."""
+    opened = stats.get("system.net.window.opened")
+    if opened is None:
+        return
+    closed = stats.get("system.net.window.closed", 0)
+    cycles = stats.get("system.net.window.cycles", 0)
+    causes = sum(stats.get(f"system.net.window.close_{c}", 0)
+                 for c in ("waiter", "lock", "load"))
+    if causes != closed:
+        fail(f"{path}: window close causes sum to {causes} but "
+             f"{closed} windows closed")
+    if closed > opened:
+        fail(f"{path}: {closed} windows closed but only {opened} "
+             "opened")
+    if opened > 0 and cycles <= 0:
+        fail(f"{path}: windows opened but zero window cycles")
+    print(f"{path}: hybrid windows OK ({int(opened)} opened)")
 
 
 def check_telemetry(path):

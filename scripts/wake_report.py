@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Render a wake-attribution report from a stats-registry dump.
+
+Usage: wake_report.py [stats.json]
+
+Reads the "sim.wake.*" keys written by a --wake-profile run (see
+DESIGN.md §14) and prints, per component group: total wakes, wasted
+wakes (the group ticked but its progress signature did not move), and
+the wasted share. Follows with the dominant wasted group — the
+coalescing target — the strongest wake-reason edges (which group's
+activity keeps rescheduling which other group), and the network
+group's nextWake() reason split.
+
+Exits non-zero if the dump has no sim.wake.* keys (run the bench with
+--wake-profile and --fresh: cached runs are recalled, not simulated,
+so they contribute no wake samples).
+"""
+
+import json
+import sys
+
+GROUPS = ["network", "l1", "l2", "lockmgr", "mc", "qspin", "core"]
+
+
+def fail(msg):
+    print(f"wake_report: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv):
+    path = argv[1] if len(argv) > 1 else "stats.json"
+    with open(path) as f:
+        stats = json.load(f)
+
+    if "sim.wake.cycles_profiled" not in stats:
+        fail(f"{path}: no sim.wake.* keys; run the bench with "
+             "--wake-profile --fresh to collect wake samples")
+
+    cycles = int(stats["sim.wake.cycles_profiled"])
+    # Aggregate dumps carry a run count; a single live Simulator's
+    # registry (e.g. fig10's) is one run by definition.
+    runs = int(stats.get("sim.wake.runs", 1))
+    print(f"wake attribution: {runs} profiled run(s), "
+          f"{cycles} processed cycle(s)")
+    print()
+
+    wakes = {g: int(stats.get(f"sim.wake.{g}.wakes", 0))
+             for g in GROUPS}
+    wasted = {g: int(stats.get(f"sim.wake.{g}.wasted", 0))
+              for g in GROUPS}
+    total_wakes = sum(wakes.values())
+    total_wasted = sum(wasted.values())
+
+    print(f"{'group':<10} {'wakes':>12} {'wasted':>12} "
+          f"{'wasted%':>8} {'share-of-wasted':>16}")
+    for g in sorted(GROUPS, key=lambda g: -wasted[g]):
+        w, x = wakes[g], wasted[g]
+        pct = 100.0 * x / w if w else 0.0
+        share = 100.0 * x / total_wasted if total_wasted else 0.0
+        print(f"{g:<10} {w:>12} {x:>12} {pct:>7.1f}% "
+              f"{share:>15.1f}%")
+    print(f"{'total':<10} {total_wakes:>12} {total_wasted:>12}")
+    print()
+
+    if total_wasted:
+        top = max(GROUPS, key=lambda g: wasted[g])
+        share = 100.0 * wasted[top] / total_wasted
+        print(f"dominant wasted group: {top} "
+              f"({wasted[top]}/{total_wasted} = {share:.1f}% of all "
+              "wasted wakes) — coalesce or sharpen this group's "
+              "nextWake() first")
+    else:
+        print("no wasted wakes recorded: every wake moved a progress "
+              "signature")
+    print()
+
+    # Wake-reason edges: who keeps whom awake. edges[from][to] counts
+    # cycles where `to`'s scheduled wake moved while `from` ticked.
+    edges = []
+    for src in GROUPS:
+        for dst in GROUPS:
+            n = int(stats.get(f"sim.wake.edge.{src}.{dst}", 0))
+            if n:
+                edges.append((n, src, dst))
+    edges.sort(reverse=True)
+    if edges:
+        print("top wake-reason edges (ticking group -> rescheduled "
+              "group):")
+        for n, src, dst in edges[:10]:
+            tag = " (self)" if src == dst else ""
+            print(f"  {src:>8} -> {dst:<8} {n:>12}{tag}")
+        print()
+
+    reasons = {k.rsplit(".", 1)[1]: int(v)
+               for k, v in stats.items()
+               if k.startswith("sim.wake.net_reason.")}
+    total_r = sum(reasons.values())
+    if total_r:
+        print("network nextWake() reason split:")
+        for name, n in sorted(reasons.items(), key=lambda kv: -kv[1]):
+            print(f"  {name:<12} {n:>12} ({100.0 * n / total_r:.1f}%)")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -67,6 +67,8 @@ traceEvName(TraceEv ev)
       case TraceEv::PktEject: return "PktEject";
       case TraceEv::CrcReject: return "CrcReject";
       case TraceEv::Retransmit: return "Retransmit";
+      case TraceEv::WindowOpen: return "WindowOpen";
+      case TraceEv::WindowClose: return "WindowClose";
       case TraceEv::RunBegin: return "RunBegin";
       case TraceEv::RunEnd: return "RunEnd";
       case TraceEv::WatchdogFired: return "WatchdogFired";
@@ -80,7 +82,7 @@ traceEvCat(TraceEv ev)
 {
     if (ev <= TraceEv::LockHandover)
         return TraceCat::Lock;
-    if (ev <= TraceEv::Retransmit)
+    if (ev <= TraceEv::WindowClose)
         return TraceCat::Noc;
     return TraceCat::Sim;
 }
@@ -183,6 +185,9 @@ evArgs(const TraceRecord &r)
       case TraceEv::CrcReject:
       case TraceEv::Retransmit:
         os << ",\"msg\":" << r.a0 << ",\"val\":" << r.a1;
+        break;
+      case TraceEv::WindowClose:
+        os << ",\"cause\":" << r.a0 << ",\"cycles\":" << r.a1;
         break;
       default:
         if (r.a0 || r.a1)

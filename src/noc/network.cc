@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/trace.hh"
 
 namespace ocor
 {
@@ -106,7 +107,14 @@ Network::send(const PacketPtr &pkt, Cycle now)
         && !isLockProtocol(pkt->type)
         && sendsTotal_ - stats_.packetsDelivered
                <= 3 * mesh_.numNodes()) {
-        windowOpen_ = true;
+        if (!windowOpen_) {
+            windowOpen_ = true;
+            windowOpenedAt_ = now;
+            ++stats_.windowsOpened;
+            if (trace_)
+                trace_->record(TraceCat::Noc, TraceEv::WindowOpen,
+                               now, pkt->src);
+        }
         fastSend(pkt, now);
         return;
     }
@@ -126,6 +134,29 @@ Network::send(const PacketPtr &pkt, Cycle now)
         if (windowOpen_) {
             windowOpen_ = false;
             windowClosedAt_ = now;
+            ++stats_.windowsClosed;
+            stats_.windowCycles += now - windowOpenedAt_;
+            // Close cause, most specific first: a live waiter shuts
+            // the window regardless of what this packet is; a lock
+            // packet with zero waiters is the protocol edge (e.g. a
+            // release); otherwise the population crossed capacity.
+            std::uint32_t cause;
+            if (*fastWaiters_ > 0) {
+                ++stats_.windowCloseWaiter;
+                cause = 0;
+            } else if (isLockProtocol(pkt->type)) {
+                ++stats_.windowCloseLock;
+                cause = 1;
+            } else {
+                ++stats_.windowCloseLoad;
+                cause = 2;
+            }
+            if (trace_)
+                trace_->record(
+                    TraceCat::Noc, TraceEv::WindowClose, now,
+                    pkt->src, invalidThread, 0, 0, cause,
+                    static_cast<std::uint32_t>(std::min<Cycle>(
+                        now - windowOpenedAt_, 0xffffffffu)));
         }
         const Cycle extra =
             analyticLatency(*pkt) - uncontendedLatency(*pkt);
@@ -248,6 +279,47 @@ Network::nextWake(Cycle now) const
     return w;
 }
 
+const char *
+netWakeReasonName(NetWakeReason r)
+{
+    switch (r) {
+      case NetWakeReason::RouterBusy: return "router_busy";
+      case NetWakeReason::LinkBusy:   return "link_busy";
+      case NetWakeReason::Fastpath:   return "fastpath";
+      case NetWakeReason::NiQueue:    return "ni_queue";
+      case NetWakeReason::Idle:       return "idle";
+      default:                        return "?";
+    }
+}
+
+NetWakeReason
+Network::wakeReason(Cycle now) const
+{
+    for (const auto &r : routers_)
+        if (r->busy())
+            return NetWakeReason::RouterBusy;
+    for (const auto &l : links_)
+        if (!l->idle())
+            return NetWakeReason::LinkBusy;
+    Cycle ni_wake = neverCycle;
+    for (const auto &ni : nis_)
+        ni_wake = std::min(ni_wake, ni->nextWake(now));
+    if (!fastQueue_.empty() && fastQueue_.top().at <= ni_wake)
+        return NetWakeReason::Fastpath;
+    if (ni_wake != neverCycle)
+        return NetWakeReason::NiQueue;
+    return NetWakeReason::Idle;
+}
+
+void
+Network::finalizeWindows(Cycle now)
+{
+    if (!windowOpen_)
+        return;
+    stats_.windowCycles += now - windowOpenedAt_;
+    windowOpenedAt_ = now; // idempotent: re-finalizing adds zero
+}
+
 bool
 Network::idle() const
 {
@@ -266,6 +338,7 @@ Network::idle() const
 void
 Network::setTracer(Tracer *t)
 {
+    trace_ = t;
     for (auto &r : routers_)
         r->setTracer(t);
     for (auto &ni : nis_)

@@ -42,7 +42,39 @@ struct NetworkStats
      * land in the explicit overflow bucket. */
     Histogram packetLatencyHist{2.0, 256};
     Histogram lockPacketLatencyHist{2.0, 256};
+
+    // --- hybrid-window diagnostics (all zero in exact fidelity).
+    //     windowCycles counts open->close spans (finalizeWindows
+    //     folds in a still-open tail); the three close-cause
+    //     counters sum to windowsClosed. --------------------------
+    std::uint64_t windowsOpened = 0;
+    std::uint64_t windowsClosed = 0;
+    std::uint64_t windowCycles = 0;
+    std::uint64_t windowCloseWaiter = 0; ///< a lock waiter appeared
+    std::uint64_t windowCloseLock = 0;   ///< lock packet with 0 waiters
+    std::uint64_t windowCloseLoad = 0;   ///< population over capacity
 };
+
+/**
+ * Why Network::nextWake() wants the next cycle (profiling only):
+ * the first matching clause of nextWake()'s scan, so the wake
+ * profiler can say *what* keeps the network group hot.
+ */
+enum class NetWakeReason : std::uint8_t
+{
+    RouterBusy, ///< some router still buffers flits
+    LinkBusy,   ///< some link carries a flit or credit
+    Fastpath,   ///< pending analytic delivery due
+    NiQueue,    ///< an NI-local queue has timed work
+    Idle,       ///< nothing due (wake was external/stale)
+    NumReasons
+};
+
+constexpr std::size_t kNumNetWakeReasons =
+    static_cast<std::size_t>(NetWakeReason::NumReasons);
+
+/** Stable reason name (stats keys). */
+const char *netWakeReasonName(NetWakeReason r);
 
 /** A width x height mesh of 2-stage VC routers with one NI per node. */
 class Network
@@ -90,6 +122,15 @@ class Network
     /** All buffers and links empty (drain check). */
     bool idle() const;
 
+    /** First matching clause of nextWake()'s scan at cycle @p now
+     * (wake-profiler attribution; same walk order as nextWake). */
+    NetWakeReason wakeReason(Cycle now) const;
+
+    /** Fold a still-open hybrid window's cycles into the stats at
+     * end of run (no close cause is charged: the run ended, the
+     * window did not close). Idempotent. */
+    void finalizeWindows(Cycle now);
+
     /**
      * Arm the hybrid-fidelity fast path. @p waiters points at the
      * System's live count of threads waiting on any lock word; while
@@ -131,7 +172,8 @@ class Network
     std::uint64_t totalPacketsInjected() const;
     std::uint64_t totalLockPacketsInjected() const;
 
-    /** Hand every router and NI the event tracer (null = off). */
+    /** Hand every router and NI (and the window diagnostics) the
+     * event tracer (null = off). */
     void setTracer(Tracer *t);
 
     /** Hand every router, NI and link the invariant checker. */
@@ -187,6 +229,9 @@ class Network
      * the most recent send saw an open window. */
     bool windowOpen_ = false;
     Cycle windowClosedAt_ = neverCycle;
+    Cycle windowOpenedAt_ = neverCycle;
+
+    Tracer *trace_ = nullptr; ///< window open/close events only
 
     NetworkStats stats_;
 };

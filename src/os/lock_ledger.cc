@@ -1,0 +1,84 @@
+#include "os/lock_ledger.hh"
+
+#include <sstream>
+
+#include "common/stats_registry.hh"
+
+namespace ocor
+{
+
+const char *
+cohCauseName(CohCause c)
+{
+    switch (c) {
+      case CohCause::Transfer:    return "transfer";
+      case CohCause::Arbitration: return "arbitration";
+      case CohCause::Backoff:     return "backoff";
+      case CohCause::Sleep:       return "sleep";
+      case CohCause::GrantGap:    return "grant_gap";
+      default:                    return "?";
+    }
+}
+
+std::uint64_t
+LockLedger::totalCause(CohCause c) const
+{
+    std::uint64_t sum = 0;
+    for (const auto &[addr, pl] : locks_)
+        sum += pl.causeCycles[static_cast<std::size_t>(c)];
+    return sum;
+}
+
+std::uint64_t
+LockLedger::totalCycles() const
+{
+    std::uint64_t sum = 0;
+    for (std::size_t c = 0; c < kNumCohCauses; ++c)
+        sum += totalCause(static_cast<CohCause>(c));
+    return sum;
+}
+
+void
+LockLedger::registerStats(StatsRegistry &reg,
+                          const std::string &prefix) const
+{
+    // Summary: one computed scalar per cause plus the grand total,
+    // so "do the causes cover the COH?" is one stats.json lookup.
+    for (std::size_t c = 0; c < kNumCohCauses; ++c) {
+        CohCause cause = static_cast<CohCause>(c);
+        reg.addScalarFn(prefix + ".cause." + cohCauseName(cause),
+                        [this, cause]() {
+                            return static_cast<double>(
+                                totalCause(cause));
+                        });
+    }
+    reg.addScalarFn(prefix + ".total_cycles", [this]() {
+        return static_cast<double>(totalCycles());
+    });
+    reg.addScalarFn(prefix + ".locks", [this]() {
+        return static_cast<double>(locks_.size());
+    });
+
+    for (const auto &[addr, pl] : locks_) {
+        std::ostringstream os;
+        os << prefix << ".lock" << addr;
+        const std::string base = os.str();
+        reg.addScalar(base + ".attempts", &pl.attempts);
+        reg.addScalar(base + ".grants", &pl.grants);
+        for (std::size_t c = 0; c < kNumCohCauses; ++c)
+            reg.addScalar(
+                base + ".cause." +
+                    cohCauseName(static_cast<CohCause>(c)),
+                &pl.causeCycles[c]);
+        reg.addHistogram(base + ".wait_hist", &pl.waitHist);
+        reg.addHistogram(base + ".grant_gap_hist", &pl.grantGapHist);
+    }
+
+    for (std::size_t t = 0; t < threadWaitHist_.size(); ++t) {
+        std::ostringstream os;
+        os << prefix << ".thread" << t << ".wait_hist";
+        reg.addHistogram(os.str(), &threadWaitHist_[t]);
+    }
+}
+
+} // namespace ocor

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Lock ledger: causal attribution of competition overhead.
+ *
+ * The paper's Equation 1 splits lock latency into transfer overhead
+ * and competition overhead (COH), and our accounting already reports
+ * the aggregate COH (blockedIdleCycles: blocked while the lock is
+ * free). The ledger goes one level deeper: every blocked-idle cycle
+ * is charged to exactly one named cause, so a profile's COH can be
+ * read as "X% retry backoff, Y% arbitration" instead of one opaque
+ * number (DESIGN.md §14).
+ *
+ * Cause taxonomy — mutually exclusive, derived from the waiter's
+ * thread state plus the in-flight-try window:
+ *
+ *   Transfer     Spinning with a LockTry in flight, within the
+ *                uncontended round-trip budget: the cycles the
+ *                request spends traversing the NoC and the home
+ *                latency. Irreducible by lock policy.
+ *   Arbitration  Spinning with a try in flight *past* the budget:
+ *                the request is queued behind other traffic or
+ *                behind the home's serialization point — the cycles
+ *                OCOR's router prioritization targets.
+ *   Backoff      Spinning with no try in flight: the local RTR
+ *                retry interval between revalidations.
+ *   Sleep        SleepPrep or Sleeping: futex path overheads.
+ *   GrantGap     Waking: the lock is already reserved for the
+ *                thread; it is paying the context-switch-in cost.
+ *
+ * The split is computed at the simulator's accounting sites (the
+ * same place blockedIdleCycles accrues), so by construction the five
+ * cause counters sum exactly to the aggregate — a property the test
+ * suite enforces.
+ *
+ * Per-lock state additionally records attempts, grants, wait-time
+ * and release-to-grant-gap histograms, keyed by lock word.
+ */
+
+#ifndef OCOR_OS_LOCK_LEDGER_HH
+#define OCOR_OS_LOCK_LEDGER_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace ocor
+{
+
+class StatsRegistry;
+
+/** Named cause a blocked-idle (COH) cycle is charged to. */
+enum class CohCause : std::uint8_t
+{
+    Transfer,    ///< NoC round trip within the uncontended budget
+    Arbitration, ///< try in flight beyond the budget
+    Backoff,     ///< local spin between retries, no try in flight
+    Sleep,       ///< sleep-prep + futex sleep
+    GrantGap,    ///< waking with the lock already reserved
+    NumCauses
+};
+
+constexpr std::size_t kNumCohCauses =
+    static_cast<std::size_t>(CohCause::NumCauses);
+
+/** Stable cause name (stats keys and table headers). */
+const char *cohCauseName(CohCause c);
+
+/**
+ * Process-wide-per-simulation attribution ledger. One instance is
+ * owned by the Simulator and shared (single-threaded simulation, no
+ * locking) by every QSpinlock and LockManager; null pointers
+ * everywhere mean the ledger is off and costs nothing.
+ */
+class LockLedger
+{
+  public:
+    struct PerLock
+    {
+        std::array<std::uint64_t, kNumCohCauses> causeCycles{};
+        std::uint64_t attempts = 0;
+        std::uint64_t grants = 0;
+        /** acquire() -> CS entry wait per attempt. */
+        Histogram waitHist{64.0, 256};
+        /** Release -> grant gap at the home (handover). */
+        Histogram grantGapHist{4.0, 256};
+    };
+
+    explicit LockLedger(std::size_t num_threads)
+        : threadWaitHist_(num_threads, Histogram{64.0, 256})
+    {}
+
+    /** QSpinlock::acquire entered. */
+    void
+    noteAttemptStart(Addr lock)
+    {
+        ++locks_[lock].attempts;
+    }
+
+    /** CS entered after @p wait_cycles of waiting. */
+    void
+    noteAcquired(Addr lock, ThreadId tid, Cycle wait_cycles)
+    {
+        PerLock &pl = locks_[lock];
+        ++pl.grants;
+        pl.waitHist.sample(static_cast<double>(wait_cycles));
+        if (tid < threadWaitHist_.size())
+            threadWaitHist_[tid].sample(
+                static_cast<double>(wait_cycles));
+    }
+
+    /** Home measured a release -> grant gap of @p gap cycles. */
+    void
+    noteGrantGap(Addr lock, Cycle gap)
+    {
+        locks_[lock].grantGapHist.sample(static_cast<double>(gap));
+    }
+
+    /** Charge @p cycles of COH on @p lock to @p cause. */
+    void
+    charge(Addr lock, CohCause cause, std::uint64_t cycles)
+    {
+        locks_[lock]
+            .causeCycles[static_cast<std::size_t>(cause)] += cycles;
+    }
+
+    const std::map<Addr, PerLock> &locks() const { return locks_; }
+
+    const std::vector<Histogram> &threadWaitHists() const
+    {
+        return threadWaitHist_;
+    }
+
+    /** Sum of one cause across every lock. */
+    std::uint64_t totalCause(CohCause c) const;
+
+    /** Sum of every cause across every lock (== aggregate COH). */
+    std::uint64_t totalCycles() const;
+
+    /** Register per-lock and summary entries under @p prefix. */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) const;
+
+  private:
+    std::map<Addr, PerLock> locks_;
+    std::vector<Histogram> threadWaitHist_;
+};
+
+} // namespace ocor
+
+#endif // OCOR_OS_LOCK_LEDGER_HH

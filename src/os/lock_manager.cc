@@ -5,6 +5,7 @@
 #include "check/checker_registry.hh"
 #include "common/log.hh"
 #include "common/trace.hh"
+#include "os/lock_ledger.hh"
 
 namespace ocor
 {
@@ -73,6 +74,8 @@ LockManager::noteGrant(LockState &lock, Addr addr, ThreadId winner,
     lock.lastRelease = neverCycle; // one release -> one sample
     stats_.handoverLatency.sample(static_cast<double>(gap));
     stats_.handoverLatencyHist.sample(static_cast<double>(gap));
+    if (ledger_)
+        ledger_->noteGrantGap(addr, gap);
     if (trace_)
         trace_->record(TraceCat::Lock, TraceEv::LockHandover, now,
                        node_, winner, addr, 0, 0,

@@ -28,6 +28,7 @@ namespace ocor
 
 class Tracer;
 class CheckerRegistry;
+class LockLedger;
 
 /** Lock-manager observability counters. */
 struct LockMgrStats
@@ -88,6 +89,9 @@ class LockManager
     /** Attach the invariant checker (null = checking off). */
     void setChecker(CheckerRegistry *c) { check_ = c; }
 
+    /** Attach the COH attribution ledger (null = off, zero cost). */
+    void setLedger(LockLedger *l) { ledger_ = l; }
+
     // --- oracle accessors (simulation-level accounting only) --------
     bool heldNow(Addr lock_word) const;
     ThreadId holderOf(Addr lock_word) const;
@@ -127,6 +131,7 @@ class LockManager
 
     Tracer *trace_ = nullptr;
     CheckerRegistry *check_ = nullptr;
+    LockLedger *ledger_ = nullptr;
     LockMgrStats stats_;
 };
 

@@ -47,6 +47,14 @@ struct ThreadCounters
     std::uint64_t sleepWins = 0;  ///< acquired after entering sleep
     std::uint64_t retries = 0;    ///< failed atomic_try_lock attempts
     std::uint64_t sleeps = 0;     ///< times the sleeping phase began
+
+    // --- COH cause split (populated only when the lock ledger is
+    //     attached; always sums exactly to blockedIdleCycles) --------
+    std::uint64_t cohTransferCycles = 0;  ///< NoC round trip in budget
+    std::uint64_t cohArbitrationCycles = 0; ///< try in flight, late
+    std::uint64_t cohBackoffCycles = 0;   ///< local RTR retry backoff
+    std::uint64_t cohSleepCycles = 0;     ///< futex sleep / sleep prep
+    std::uint64_t cohGrantGapCycles = 0;  ///< waking, lock reserved
 };
 
 /** Per-thread OS bookkeeping. */

@@ -6,6 +6,7 @@
 #include "common/log.hh"
 #include "common/trace.hh"
 #include "core/priority.hh"
+#include "os/lock_ledger.hh"
 
 namespace ocor
 {
@@ -74,6 +75,8 @@ QSpinlock::acquire(Addr lock_word, Cycle now, AcquiredFn done)
     pcb_.state = ThreadState::Spinning;
     if (check_)
         check_->onAcquireStart(pcb_.tid, now);
+    if (ledger_)
+        ledger_->noteAttemptStart(lock_);
     if (trace_)
         trace_->record(TraceCat::Lock, TraceEv::LockAcquireStart, now,
                        pcb_.node, pcb_.tid, lock_, 0,
@@ -121,6 +124,8 @@ QSpinlock::enterCs(Cycle now)
         ++pcb_.counters.sleepWins;
     else
         ++pcb_.counters.spinWins;
+    if (ledger_)
+        ledger_->noteAcquired(lock_, pcb_.tid, now - spinStart_);
     if (trace_)
         trace_->record(TraceCat::Lock, TraceEv::CsEnter, now,
                        pcb_.node, pcb_.tid, lock_, 0,

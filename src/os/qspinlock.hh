@@ -44,6 +44,7 @@ namespace ocor
 
 class Tracer;
 class CheckerRegistry;
+class LockLedger;
 
 /** Per-thread queue-spinlock state machine. */
 class QSpinlock
@@ -71,6 +72,11 @@ class QSpinlock
     Addr currentLock() const { return lock_; }
     bool everSleptThisWait() const { return everSlept_; }
     bool tryInFlight() const { return tryInFlight_; }
+
+    /** Departure cycle of the last LockTry (neverCycle before the
+     * first). The accounting layer splits transfer vs arbitration
+     * cycles around trySentAt() + the uncontended round trip. */
+    Cycle trySentAt() const { return trySentAt_; }
 
     /**
      * Earliest cycle tick() would do any work (neverCycle = none),
@@ -121,6 +127,9 @@ class QSpinlock
 
     /** Attach the invariant checker (null = checking off). */
     void setChecker(CheckerRegistry *c) { check_ = c; }
+
+    /** Attach the COH attribution ledger (null = off, zero cost). */
+    void setLedger(LockLedger *l) { ledger_ = l; }
 
     /**
      * Test hook: pretend to hold @p lock_word without acquiring it,
@@ -180,6 +189,7 @@ class QSpinlock
 
     Tracer *trace_ = nullptr;
     CheckerRegistry *check_ = nullptr;
+    LockLedger *ledger_ = nullptr;
 
     /** Shared active-waiter count (hybrid fidelity); null = off. */
     unsigned *waiters_ = nullptr;

@@ -63,6 +63,8 @@ runOnce(const BenchmarkProfile &profile, const ExperimentConfig &exp,
     // A crash inside run() dumps this exact configuration for
     // --replay (no-op unless a crash handler is installed).
     crashdump::RunScope scope(profile, exp, ocor_enabled);
+    if (exp.cohLedger)
+        opts.cohLedger = true;
     Simulator sim(cfg, std::move(programs), profile.traffic, opts);
     return sim.run();
 }

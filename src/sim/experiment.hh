@@ -56,6 +56,12 @@ struct ExperimentConfig
      * uncontended windows (see DESIGN.md §13); results are
      * approximate and cached under a distinct key. */
     Fidelity fidelity = Fidelity::Exact;
+
+    /** COH attribution ledger on both runs of a pair (DESIGN.md
+     * §14). Aggregate results are identical with it on, but the
+     * cause counters only exist on ledger runs, so the result cache
+     * keys ledger runs separately. */
+    bool cohLedger = false;
 };
 
 /**

@@ -41,6 +41,14 @@ struct RunMetrics
     /** Packets delivered by the hybrid analytic fast path (0 under
      * exact fidelity). */
     std::uint64_t fastpathPackets = 0;
+
+    // Hybrid fast-path window lifecycle (all zero under exact
+    // fidelity). windowCycles / roiFinish is the run's window
+    // coverage; a run that ends mid-window counts the open tail but
+    // no extra close.
+    std::uint64_t windowsOpened = 0;
+    std::uint64_t windowsClosed = 0;
+    std::uint64_t windowCycles = 0;
     double avgPacketLatency = 0.0;
     double avgLockPacketLatency = 0.0;
     double avgDataPacketLatency = 0.0;

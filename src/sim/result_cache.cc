@@ -43,6 +43,10 @@ makeCacheKey(const BenchmarkProfile &profile,
     // journals stay valid.
     if (exp.fidelity == Fidelity::Hybrid)
         key.benchmark += "+hybrid";
+    // Ledger runs carry COH cause counters a plain run's cached row
+    // lacks; the same suffix trick keeps them from cross-satisfying.
+    if (exp.cohLedger)
+        key.benchmark += "+ledger";
     key.threads = exp.threads;
     key.ocorEnabled = ocor_enabled;
     key.iterations = exp.iterationsOverride;
@@ -102,6 +106,11 @@ metricsToTsv(const RunMetrics &m)
         sum.sleepWins += t.sleepWins;
         sum.retries += t.retries;
         sum.sleeps += t.sleeps;
+        sum.cohTransferCycles += t.cohTransferCycles;
+        sum.cohArbitrationCycles += t.cohArbitrationCycles;
+        sum.cohBackoffCycles += t.cohBackoffCycles;
+        sum.cohSleepCycles += t.cohSleepCycles;
+        sum.cohGrantGapCycles += t.cohGrantGapCycles;
     }
     std::ostringstream os;
     os << m.roiFinish << '\t' << m.threads << '\t'
@@ -115,7 +124,11 @@ metricsToTsv(const RunMetrics &m)
        << '\t' << m.avgDataPacketLatency << '\t'
        << m.p50PacketLatency << '\t' << m.p95PacketLatency << '\t'
        << m.p99PacketLatency << '\t' << m.p50LockHandover << '\t'
-       << m.p95LockHandover << '\t' << m.p99LockHandover;
+       << m.p95LockHandover << '\t' << m.p99LockHandover << '\t'
+       << sum.cohTransferCycles << '\t' << sum.cohArbitrationCycles
+       << '\t' << sum.cohBackoffCycles << '\t' << sum.cohSleepCycles
+       << '\t' << sum.cohGrantGapCycles << '\t' << m.windowsOpened
+       << '\t' << m.windowsClosed << '\t' << m.windowCycles;
     return os.str();
 }
 
@@ -133,8 +146,12 @@ metricsFromTsv(std::istringstream &is)
              >> m.avgLockPacketLatency >> m.avgDataPacketLatency
              >> m.p50PacketLatency >> m.p95PacketLatency
              >> m.p99PacketLatency >> m.p50LockHandover
-             >> m.p95LockHandover >> m.p99LockHandover))
-        // Lines from a pre-percentile cache file fail here and are
+             >> m.p95LockHandover >> m.p99LockHandover
+             >> sum.cohTransferCycles >> sum.cohArbitrationCycles
+             >> sum.cohBackoffCycles >> sum.cohSleepCycles
+             >> sum.cohGrantGapCycles >> m.windowsOpened
+             >> m.windowsClosed >> m.windowCycles))
+        // Lines from an older-layout cache file fail here and are
         // simply treated as misses (the run is redone and re-stored).
         return std::nullopt;
     // Aggregates are stored as one synthetic per-thread entry; every

@@ -8,8 +8,10 @@
 
 #include "common/log.hh"
 #include "common/thread_pool.hh"
+#include "os/lock_ledger.hh"
 #include "sim/crashdump.hh"
 #include "sim/event_wheel.hh"
+#include "sim/wake_profiler.hh"
 
 namespace ocor
 {
@@ -37,6 +39,7 @@ constexpr unsigned kNumGroups = NumSystemGroups + 2;
 constexpr Cycle kStrideMask = 0x7ff;
 
 std::atomic<SimCoreMode> g_default_core{SimCoreMode::Auto};
+std::atomic<bool> g_default_wake_profile{false};
 
 SimCoreMode
 envCoreMode()
@@ -70,6 +73,18 @@ Simulator::defaultCoreMode()
     return g_default_core.load(std::memory_order_relaxed);
 }
 
+void
+Simulator::setDefaultWakeProfile(bool on)
+{
+    g_default_wake_profile.store(on, std::memory_order_relaxed);
+}
+
+bool
+Simulator::defaultWakeProfile()
+{
+    return g_default_wake_profile.load(std::memory_order_relaxed);
+}
+
 SimCoreMode
 Simulator::resolvedCoreMode() const
 {
@@ -99,6 +114,14 @@ Simulator::Simulator(const SystemConfig &cfg,
     }
     if (opts_.telemetryInterval > 0)
         telemetry_ = TelemetryRecorder(opts_.telemetryInterval);
+    if (opts_.cohLedger) {
+        ledger_ =
+            std::make_unique<LockLedger>(system_->numThreads());
+        system_->setLedger(ledger_.get());
+        budgetMemo_.resize(system_->numThreads());
+    }
+    if (opts_.wakeProfile || defaultWakeProfile())
+        wakeProf_ = std::make_unique<WakeProfiler>();
     // Traced runs publish their ring to the crash-dump handler so a
     // fatal signal dumps the last events. One tracer at a time
     // (last wins) -- exactly the single-simulator tracing setup the
@@ -113,8 +136,86 @@ Simulator::~Simulator()
         crashdump::setTracer(nullptr);
 }
 
+Cycle
+Simulator::tryBudget(ThreadId t, Addr lock)
+{
+    BudgetMemo &memo = budgetMemo_[t];
+    if (memo.lock != lock) {
+        Packet p;
+        p.src = system_->pcb(t).node;
+        p.dst = system_->addressMap().homeOf(lock);
+        p.numFlits = 1;
+        memo.lock = lock;
+        memo.budget = 2 * system_->network().uncontendedLatency(p)
+            + cfg_.os.homeLatency;
+    }
+    return memo.budget;
+}
+
 void
-Simulator::accountThread(ThreadId t)
+Simulator::chargeCohCauses(ThreadId t, Pcb &pcb, Addr lock,
+                           Cycle from, Cycle to)
+{
+    auto charge = [&](CohCause cause, std::uint64_t n) {
+        if (n == 0)
+            return;
+        switch (cause) {
+          case CohCause::Transfer:
+            pcb.counters.cohTransferCycles += n;
+            break;
+          case CohCause::Arbitration:
+            pcb.counters.cohArbitrationCycles += n;
+            break;
+          case CohCause::Backoff:
+            pcb.counters.cohBackoffCycles += n;
+            break;
+          case CohCause::Sleep:
+            pcb.counters.cohSleepCycles += n;
+            break;
+          case CohCause::GrantGap:
+            pcb.counters.cohGrantGapCycles += n;
+            break;
+          default:
+            break;
+        }
+        ledger_->charge(lock, cause, n);
+    };
+    const QSpinlock &qs = system_->qspinlock(t);
+    switch (pcb.state) {
+      case ThreadState::Spinning:
+        if (qs.tryInFlight()) {
+            // The LockTry (or its verdict) is on the wire. Up to
+            // the uncontended round-trip budget that is NoC
+            // transfer; anything beyond is the home arbitrating
+            // among competing tries (queueing, RTR ordering).
+            const Cycle boundary =
+                qs.trySentAt() + tryBudget(t, lock);
+            const Cycle split =
+                std::min(std::max(boundary, from), to);
+            charge(CohCause::Transfer, split - from);
+            charge(CohCause::Arbitration, to - split);
+        } else {
+            // No request outstanding: the client is sitting out a
+            // local RTR retry backoff interval.
+            charge(CohCause::Backoff, to - from);
+        }
+        break;
+      case ThreadState::SleepPrep:
+      case ThreadState::Sleeping:
+        charge(CohCause::Sleep, to - from);
+        break;
+      case ThreadState::Waking:
+        // Grant arrived while the thread sleeps: the lock is
+        // reserved but unused until the wakeup completes.
+        charge(CohCause::GrantGap, to - from);
+        break;
+      default:
+        break;
+    }
+}
+
+void
+Simulator::accountThread(ThreadId t, Cycle now)
 {
     Pcb &pcb = system_->pcb(t);
     switch (pcb.state) {
@@ -138,10 +239,13 @@ Simulator::accountThread(ThreadId t)
             held = system_->lockHolderInCs(lock);
             holderMemo_.insert(lock, held);
         }
-        if (held)
+        if (held) {
             ++pcb.counters.blockedHeldCycles;
-        else
+        } else {
             ++pcb.counters.blockedIdleCycles;
+            if (ledger_)
+                chargeCohCauses(t, pcb, lock, now, now + 1);
+        }
         break;
       }
       case ThreadState::Finished:
@@ -158,7 +262,7 @@ Simulator::accountCycle(Cycle now)
         // the recorder path walks every thread.
         const unsigned threads = system_->numThreads();
         for (ThreadId t = 0; t < threads; ++t) {
-            accountThread(t);
+            accountThread(t, now);
             timeline_.record(t, now, segClassOf(system_->pcb(t).state));
         }
         return;
@@ -168,7 +272,7 @@ Simulator::accountCycle(Cycle now)
     // seen Finished and never revisited.
     for (std::size_t i = 0; i < live_.size();) {
         ThreadId t = live_[i];
-        accountThread(t);
+        accountThread(t, now);
         if (system_->pcb(t).state == ThreadState::Finished) {
             live_[i] = live_.back();
             live_.pop_back();
@@ -227,21 +331,23 @@ Simulator::processCycle(bool event, Tracer *tr, CheckerRegistry *ck,
                         Cycle &last_progress_at,
                         std::uint64_t &last_progress)
 {
-    if (opts_.profileWall) {
-        const auto t0 = sim_clock::now();
-        if (event)
+    auto tick_system = [&] {
+        if (event && wakeProf_)
+            system_->tickEventProfiled(now_, *wakeProf_);
+        else if (event)
             system_->tickEvent(now_);
         else
             system_->tick(now_);
+    };
+    if (opts_.profileWall) {
+        const auto t0 = sim_clock::now();
+        tick_system();
         const auto t1 = sim_clock::now();
         accountCycle(now_);
         wall_.tickSeconds += secondsSince(t0, t1);
         wall_.accountSeconds += secondsSince(t1, sim_clock::now());
     } else {
-        if (event)
-            system_->tickEvent(now_);
-        else
-            system_->tick(now_);
+        tick_system();
         accountCycle(now_);
     }
     ++wall_.cyclesProcessed;
@@ -344,10 +450,13 @@ Simulator::accountSpan(Cycle from, Cycle to)
                 held = system_->lockHolderInCs(lock);
                 holderMemo_.insert(lock, held);
             }
-            if (held)
+            if (held) {
                 pcb.counters.blockedHeldCycles += span;
-            else
+            } else {
                 pcb.counters.blockedIdleCycles += span;
+                if (ledger_)
+                    chargeCohCauses(t, pcb, lock, from, to);
+            }
             break;
           }
           case ThreadState::Finished:
@@ -424,6 +533,8 @@ Simulator::runEventLoop(Tracer *tr, CheckerRegistry *ck)
                 w = now_ + 1;
             if (w != scheduled[g]) {
                 scheduled[g] = w;
+                if (wakeProf_ && g < NumSystemGroups)
+                    wakeProf_->noteReschedule(g);
                 if (w != neverCycle)
                     wheel.schedule(w, g);
             }
@@ -490,6 +601,12 @@ Simulator::run()
         m.perThread.push_back(system_->pcb(t).counters);
 
     Network &net = system_->network();
+    // Fold the still-open hybrid window's tail into windowCycles so
+    // coverage never under-reports a run that ends mid-window.
+    net.finalizeWindows(now_);
+    m.windowsOpened = net.stats().windowsOpened;
+    m.windowsClosed = net.stats().windowsClosed;
+    m.windowCycles = net.stats().windowCycles;
     m.packetsInjected = net.totalPacketsInjected();
     m.flitsInjected = net.totalFlitsInjected();
     m.lockPacketsInjected = net.totalLockPacketsInjected();
@@ -525,6 +642,12 @@ Simulator::run()
     m.watchdogRecoveries = system_->watchdogRecoveries();
     m.hangDetected = hangDetected_;
     m.cancelled = cancelled_;
+
+    // Fold this run into the process-global aggregates so sweeps
+    // whose Simulators die inside the result cache still report
+    // sim.wall.* / sim.wake.* totals (registerAggregateStats).
+    mergeRunAggregates(wall_,
+                       wakeProf_ ? &wakeProf_->stats() : nullptr);
     return m;
 }
 
@@ -548,6 +671,10 @@ Simulator::registerStats(StatsRegistry &reg)
     reg.addScalar("sim.wall.cycles_processed", &wall_.cyclesProcessed);
     reg.addScalar("sim.wall.cycles_skipped", &wall_.cyclesSkipped);
     reg.addScalar("sim.wall.events_scheduled", &wall_.eventsScheduled);
+    if (ledger_)
+        ledger_->registerStats(reg, "sim.coh");
+    if (wakeProf_)
+        registerWakeStats(reg, "sim.wake", &wakeProf_->stats());
 }
 
 } // namespace ocor

@@ -22,6 +22,8 @@ namespace ocor
 
 class CancelToken;
 class Tracer;
+class LockLedger;
+class WakeProfiler;
 
 /**
  * Which simulation core drives run().
@@ -113,6 +115,24 @@ struct SimOptions
 
     /** Simulation core driving run() (see SimCoreMode). */
     SimCoreMode core = SimCoreMode::Auto;
+
+    /**
+     * COH attribution ledger: split every blocked-idle (competition
+     * overhead) cycle into a named cause — transfer, arbitration,
+     * backoff, sleep, grant gap — per lock and per thread
+     * (DESIGN.md §14). Off by default; a ledger run's aggregate
+     * counters are identical to a plain run's, the split is pure
+     * refinement.
+     */
+    bool cohLedger = false;
+
+    /**
+     * Wake-attribution profiler (event core only): count per-group
+     * wakes, wasted wakes and wake edges. Purely observational —
+     * simulation results are bit-identical with it on. Also enabled
+     * process-wide by Simulator::setDefaultWakeProfile.
+     */
+    bool wakeProfile = false;
 };
 
 /** Host wall-clock cost of one run() (never enters sim results). */
@@ -195,8 +215,27 @@ class Simulator
     static void setDefaultCoreMode(SimCoreMode m);
     static SimCoreMode defaultCoreMode();
 
+    /**
+     * Process-wide wake-profiling default (the benches'
+     * --wake-profile flag): profiling changes no results, so unlike
+     * the ledger it needs no per-experiment plumbing or cache-key
+     * split — note cached runs don't execute and contribute no wake
+     * stats (pair the flag with --fresh). Thread-safe.
+     */
+    static void setDefaultWakeProfile(bool on);
+    static bool defaultWakeProfile();
+
     /** The core mode run() will use (Auto fully resolved). */
     SimCoreMode resolvedCoreMode() const;
+
+    /** COH attribution ledger; null unless opts.cohLedger. */
+    const LockLedger *ledger() const { return ledger_.get(); }
+
+    /** Wake profiler; null unless profiling is on. */
+    const WakeProfiler *wakeProfiler() const
+    {
+        return wakeProf_.get();
+    }
 
   private:
     void runLegacyLoop(Tracer *tr, CheckerRegistry *ck);
@@ -222,8 +261,24 @@ class Simulator
 
     void accountCycle(Cycle now);
 
-    /** Charge one cycle to thread @p t's current state. */
-    void accountThread(ThreadId t);
+    /** Charge one cycle (at @p now) to thread @p t's current state. */
+    void accountThread(ThreadId t, Cycle now);
+
+    /**
+     * Ledger refinement of a blocked-idle charge: split the span
+     * [@p from, @p to) of thread @p t waiting on @p lock into COH
+     * causes (the transfer/arbitration boundary falls at the try's
+     * departure plus the uncontended round-trip budget). Charges
+     * both the thread counters and the per-lock ledger; the pieces
+     * sum to the span by construction.
+     */
+    void chargeCohCauses(ThreadId t, Pcb &pcb, Addr lock, Cycle from,
+                         Cycle to);
+
+    /** Uncontended LockTry round-trip budget of (thread, lock):
+     * 2 mesh transits of a 1-flit packet plus the home latency.
+     * Memoized per thread (the lock rarely changes). */
+    Cycle tryBudget(ThreadId t, Addr lock);
 
     /** Monotone counter that stalls exactly when the run is wedged. */
     std::uint64_t progressSignal() const;
@@ -247,6 +302,20 @@ class Simulator
     /** Threads not yet Finished; the accounting loop only walks
      * these once the timeline recorder is off. */
     std::vector<ThreadId> live_;
+
+    /** COH attribution ledger (null = off). */
+    std::unique_ptr<LockLedger> ledger_;
+
+    /** Wake-attribution profiler (null = off). */
+    std::unique_ptr<WakeProfiler> wakeProf_;
+
+    /** Per-thread try-budget memo for chargeCohCauses. */
+    struct BudgetMemo
+    {
+        Addr lock = ~static_cast<Addr>(0);
+        Cycle budget = 0;
+    };
+    std::vector<BudgetMemo> budgetMemo_;
 };
 
 } // namespace ocor

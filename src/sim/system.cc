@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "os/lock_ledger.hh"
+#include "sim/wake_profiler.hh"
 
 namespace ocor
 {
@@ -94,6 +96,15 @@ System::System(const SystemConfig &cfg, std::vector<Program> programs,
 }
 
 void
+System::setLedger(LockLedger *l)
+{
+    for (auto &qs : qspins_)
+        qs->setLedger(l);
+    for (auto &lm : lockMgrs_)
+        lm->setLedger(l);
+}
+
+void
 System::registerStats(StatsRegistry &reg, const std::string &prefix)
 {
     const NetworkStats &net = network_->stats();
@@ -115,6 +126,21 @@ System::registerStats(StatsRegistry &reg, const std::string &prefix)
     reg.addScalarFn(prefix + ".net.flits_injected", [this]() {
         return static_cast<double>(network_->totalFlitsInjected());
     });
+
+    if (cfg_.fidelity == Fidelity::Hybrid) {
+        reg.addScalar(prefix + ".net.window.opened",
+                      &net.windowsOpened);
+        reg.addScalar(prefix + ".net.window.closed",
+                      &net.windowsClosed);
+        reg.addScalar(prefix + ".net.window.cycles",
+                      &net.windowCycles);
+        reg.addScalar(prefix + ".net.window.close_waiter",
+                      &net.windowCloseWaiter);
+        reg.addScalar(prefix + ".net.window.close_lock",
+                      &net.windowCloseLock);
+        reg.addScalar(prefix + ".net.window.close_load",
+                      &net.windowCloseLoad);
+    }
 
     const unsigned nodes = cfg_.mesh.numNodes();
     for (NodeId n = 0; n < nodes; ++n) {
@@ -165,6 +191,15 @@ System::registerStats(StatsRegistry &reg, const std::string &prefix)
         reg.addScalar(p + ".sleep_wins", &tc.sleepWins);
         reg.addScalar(p + ".retries", &tc.retries);
         reg.addScalar(p + ".sleeps", &tc.sleeps);
+        reg.addScalar(p + ".coh_transfer_cycles",
+                      &tc.cohTransferCycles);
+        reg.addScalar(p + ".coh_arbitration_cycles",
+                      &tc.cohArbitrationCycles);
+        reg.addScalar(p + ".coh_backoff_cycles",
+                      &tc.cohBackoffCycles);
+        reg.addScalar(p + ".coh_sleep_cycles", &tc.cohSleepCycles);
+        reg.addScalar(p + ".coh_grant_gap_cycles",
+                      &tc.cohGrantGapCycles);
     }
 
     if (tracer_) {
@@ -287,6 +322,157 @@ System::tickEvent(Cycle now)
             c->tick(now);
     // All sends of this cycle have been queued by now (NI inject
     // queues stamp ready = now + 1), so this scan sees them.
+    netWake_ = network_->nextWake(now);
+}
+
+namespace
+{
+
+/** FNV-style fold; order-sensitive so swapped counters don't cancel. */
+inline std::uint64_t
+sigFold(std::uint64_t sig, std::uint64_t v)
+{
+    return (sig ^ v) * 1099511628211ull;
+}
+
+} // namespace
+
+std::uint64_t
+System::groupSignature(unsigned g) const
+{
+    std::uint64_t s = 14695981039346656037ull;
+    switch (g) {
+      case GNetwork: {
+        // Forward progress = flits moving through allocation stages
+        // or packets leaving the network. Credit return and conflict
+        // losses are deliberately excluded: a cycle that only shuffles
+        // credits is the wasted network wake the ROADMAP's coalescing
+        // item is after.
+        const NetworkStats &ns = network_->stats();
+        s = sigFold(s, ns.packetsDelivered);
+        s = sigFold(s, ns.fastpathPackets);
+        const unsigned nodes = cfg_.mesh.numNodes();
+        for (NodeId n = 0; n < nodes; ++n) {
+            const RouterStats &rs = network_->router(n).stats();
+            s = sigFold(s, rs.flitsRouted + rs.vaGrants +
+                               rs.saGrants);
+            const NiStats &is = network_->ni(n).stats();
+            s = sigFold(s, is.flitsInjected + is.packetsEjected);
+        }
+        break;
+      }
+      case GL1:
+        // The delayed-completion FIFOs advance via tick() without
+        // touching a counter (the counters moved at handle() time),
+        // so nextWake() joins the fold: popping a due completion is
+        // real work, not a wasted wake.
+        for (const auto &l1 : l1s_) {
+            const L1Stats &st = l1->stats();
+            s = sigFold(s, st.hits + st.misses + st.evictions +
+                               st.writebacks + st.invsReceived +
+                               st.fetchesReceived + st.mshrRejects);
+            s = sigFold(s, l1->nextWake());
+        }
+        break;
+      case GL2:
+        for (const auto &l2 : l2s_) {
+            const L2Stats &st = l2->stats();
+            s = sigFold(s, st.getS + st.getM + st.invsSent +
+                               st.fetchesSent + st.memReads +
+                               st.memWrites + st.queuedRequests +
+                               st.staleAcks + st.l2Evictions);
+            s = sigFold(s, l2->nextWake());
+        }
+        break;
+      case GLockMgr:
+        // A popped retry FutexWake that finds the lock held (or the
+        // queue empty) bumps no counter: that tick reads as wasted,
+        // which is the attribution we want for no-op wake retries.
+        for (const auto &lm : lockMgrs_) {
+            const LockMgrStats &st = lm->stats();
+            s = sigFold(s, st.tries + st.grants + st.fails +
+                               st.releases + st.futexWaits +
+                               st.immediateWakes + st.wakes +
+                               st.notifies + st.duplicateTries +
+                               st.strayReleases + st.rewakes +
+                               st.duplicateWaits);
+        }
+        break;
+      case GMc:
+        // reads/writes move at handle() time (inside the network
+        // slot); completing an access only pops the service queue,
+        // which shows up in nextWake().
+        for (const MemController *mc : mcTick_) {
+            const McStats &st = mc->stats();
+            s = sigFold(s, st.reads + st.writes);
+            s = sigFold(s, mc->nextWake());
+        }
+        break;
+      case GQspin:
+        // Counters alone miss timer-only transitions (e.g. the
+        // deferred FUTEX_WAKE firing), so the per-thread nextWake()
+        // and state enter the fold too.
+        for (ThreadId t = 0; t < cfg_.numThreads; ++t) {
+            const Pcb &pcb = *pcbs_[t];
+            const QSpinlock &qs = *qspins_[t];
+            s = sigFold(s, static_cast<std::uint64_t>(pcb.state));
+            s = sigFold(s, pcb.counters.retries +
+                               pcb.counters.sleeps +
+                               pcb.counters.acquisitions +
+                               qs.recoveries() +
+                               qs.duplicatesAbsorbed());
+            s = sigFold(s, qs.nextWake());
+        }
+        break;
+      case GCore:
+        for (const auto &c : cores_) {
+            const CoreStats &st = c->stats();
+            s = sigFold(s, st.opsExecuted + st.fgLoads +
+                               st.fgStores + st.bgAccesses +
+                               st.bgRejected + st.fgRetries);
+        }
+        break;
+      default:
+        ocor_panic("groupSignature: unknown group %u", g);
+    }
+    return s;
+}
+
+void
+System::tickEventProfiled(Cycle now, WakeProfiler &wp)
+{
+    wp.beginCycle();
+    // Mirror of tickEvent(): same lazy per-component gating in the
+    // same slot order, each group bracketed by its signature. The
+    // due pre-scan happens exactly where the group's tick loop would
+    // start, so the verdicts are identical to tickEvent()'s.
+    if (netWake_ <= now) {
+        wp.noteNetReason(network_->wakeReason(now));
+        const std::uint64_t sig = groupSignature(GNetwork);
+        network_->tickEvent(now);
+        wp.noteWake(GNetwork, sig != groupSignature(GNetwork));
+    }
+    auto run_group = [&](unsigned g, auto &vec) {
+        bool due = false;
+        for (const auto &c : vec)
+            if (c->nextWake() <= now) {
+                due = true;
+                break;
+            }
+        if (!due)
+            return;
+        const std::uint64_t sig = groupSignature(g);
+        for (auto &c : vec)
+            if (c->nextWake() <= now)
+                c->tick(now);
+        wp.noteWake(g, sig != groupSignature(g));
+    };
+    run_group(GL1, l1s_);
+    run_group(GL2, l2s_);
+    run_group(GLockMgr, lockMgrs_);
+    run_group(GMc, mcTick_);
+    run_group(GQspin, qspins_);
+    run_group(GCore, cores_);
     netWake_ = network_->nextWake(now);
 }
 

@@ -31,6 +31,9 @@
 namespace ocor
 {
 
+class WakeProfiler;
+class LockLedger;
+
 /**
  * Component scheduling groups of the event-driven core, in the
  * canonical slot order of System::tick(). The event wheel carries one
@@ -78,6 +81,15 @@ class System
     void tickEvent(Cycle now);
 
     /**
+     * tickEvent() with wake attribution: identical gating, walk
+     * order and side effects, but each group's due/ticked status and
+     * progress-signature delta are reported to @p wp. The signature
+     * reads are const folds of existing counters, so a profiled run
+     * stays bit-identical to an unprofiled one.
+     */
+    void tickEventProfiled(Cycle now, WakeProfiler &wp);
+
+    /**
      * Earliest future cycle group @p g needs a tick, as seen at the
      * end of processed cycle @p now. May return cycles <= now (core
      * wakes can be overdue); the event loop clamps to now + 1.
@@ -102,6 +114,10 @@ class System
 
     /** Invariant-checker registry; null when cfg.check is off. */
     CheckerRegistry *checker() { return checks_.get(); }
+
+    /** Attach the COH attribution ledger to every lock client and
+     * home (null = detach; off by default, zero cost). */
+    void setLedger(LockLedger *l);
 
     /**
      * Register every component's live counters under dotted names
@@ -143,6 +159,15 @@ class System
 
   private:
     void dispatch(NodeId node, const PacketPtr &pkt, Cycle now);
+
+    /**
+     * Observable-progress signature of group @p g: a fold of the
+     * group's existing counters (plus, for lock clients, thread
+     * state and next-wake values). A tick that leaves the signature
+     * unchanged did no attributable work — the profiler's "wasted
+     * wake". Deliberately excludes credit movement and peak gauges.
+     */
+    std::uint64_t groupSignature(unsigned g) const;
 
     SystemConfig cfg_;
     AddressMap amap_;

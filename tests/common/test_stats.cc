@@ -142,6 +142,78 @@ TEST(Histogram, PercentileOverflowRegionReportsMax)
     EXPECT_DOUBLE_EQ(h.percentile(99.0), 500.0);
 }
 
+TEST(Histogram, PercentileSingleSampleIsThatSample)
+{
+    Histogram h(64.0, 256);
+    h.sample(42.0);
+    // With one sample every percentile collapses to it (the min/max
+    // clamp pins both ends of the interpolation).
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 42.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 42.0);
+}
+
+TEST(Histogram, PercentileSingleBucketHistogram)
+{
+    // A degenerate one-bucket shape: everything below the width
+    // lands in bucket 0, everything else overflows.
+    Histogram h(10.0, 1);
+    h.sample(2.0);
+    h.sample(7.0);
+    double p50 = h.percentile(50.0);
+    EXPECT_GE(p50, 2.0);
+    EXPECT_LE(p50, 7.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 7.0);
+}
+
+TEST(Histogram, PercentileOverflowOnlyReportsMax)
+{
+    // Every sample beyond the covered range: all ranks live in the
+    // overflow region, whose only honest estimate is the max.
+    Histogram h(1.0, 4);
+    h.sample(100.0);
+    h.sample(200.0);
+    h.sample(300.0);
+    EXPECT_EQ(h.overflow(), 3u);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 300.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99.0), 300.0);
+    // The floor still clamps to the observed min.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 100.0);
+}
+
+TEST(Histogram, MergeDifferentlyPopulatedSameShape)
+{
+    // Merging an empty histogram is a no-op; merging into an empty
+    // one adopts the other's distribution — both directions must
+    // leave identical percentiles (the ledger merges per-lock wait
+    // histograms that are often lopsided like this).
+    Histogram empty(64.0, 256), full(64.0, 256);
+    for (int i = 0; i < 100; ++i)
+        full.sample(64.0 * i);
+
+    Histogram a = full;
+    a.merge(empty);
+    EXPECT_EQ(a.stat().count(), full.stat().count());
+    EXPECT_DOUBLE_EQ(a.percentile(95.0), full.percentile(95.0));
+
+    Histogram b = empty;
+    b.merge(full);
+    EXPECT_EQ(b.stat().count(), full.stat().count());
+    EXPECT_DOUBLE_EQ(b.percentile(50.0), full.percentile(50.0));
+    EXPECT_DOUBLE_EQ(b.percentile(100.0), full.percentile(100.0));
+
+    // Lopsided merge: lows into highs covers both tails.
+    Histogram lo(64.0, 256), hi(64.0, 256);
+    for (int i = 0; i < 50; ++i) {
+        lo.sample(10.0);
+        hi.sample(10'000.0);
+    }
+    lo.merge(hi);
+    EXPECT_EQ(lo.stat().count(), 100u);
+    EXPECT_LE(lo.percentile(25.0), 64.0);
+    EXPECT_GE(lo.percentile(90.0), 9'000.0);
+}
+
 TEST(Histogram, MergeAddsCounts)
 {
     Histogram a(10.0, 4), b(10.0, 4);
