@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Determinism and robustness lint for the OCOR simulator sources.
+"""Determinism and protocol-contract lint for the OCOR simulator.
 
 Usage: simlint.py [--list-rules] DIR_OR_FILE...
 
@@ -9,10 +9,20 @@ configuration and seed produce identical metrics, traces and stats
 classic ways C++ code silently breaks that are iterating an unordered
 container into simulation-visible state, consuming ambient entropy
 (wall clock, rand(), random_device), and ordering on raw pointer
-values, all of which vary run to run. This linter flags those
-patterns, plus uninitialized scalar fields in the POD-style structs
-(packets, flits, configs) whose value-initialization the simulator
-relies on.
+values, all of which vary run to run. On top of those, the protocol
+layers carry contracts the compiler cannot check: nextWake() must be
+a pure observer (the event core calls it at will), every blocked-idle
+charge must reach the COH ledger, and every stats-struct field must
+be registered or it silently vanishes from stats.json.
+
+Engine: a self-contained C++ tokenizer plus a structural parser
+(brace/paren matching, function-body classification, struct-field
+extraction). Tokens, not lines, drive every rule, so string literals
+and comments can no longer produce false positives and multi-line
+constructs resolve correctly. When the libclang python bindings are
+importable an AST pass supplements two rules (typedefs and autos
+resolve); the container image for this repo has no libclang, so the
+tokenizer engine is the one CI exercises and is authoritative.
 
 Rules (suppress one occurrence with a `simlint: allow(<rule>)`
 comment on the same or the preceding line):
@@ -60,15 +70,36 @@ comment on the same or the preceding line):
                         close(), lock-free atomics and hand-rolled
                         formatting. Anything that may take a lock or
                         allocate can deadlock a dying process.
-
-When the libclang python bindings are importable the
-unordered-iteration and missing-field-init rules run on the AST
-(fewer false negatives: typedefs and autos resolve); otherwise the
-regex engine below is authoritative. The container image for this
-repo has no libclang, so the regex path is the one CI exercises.
+  nextwake-impure       a nextWake() definition that is not
+                        const-qualified, or whose body mutates a
+                        member (`x_ = ...`, `++x_`, `this->x = ...`).
+                        The event core (DESIGN.md §13) calls
+                        nextWake() any number of times per cycle to
+                        compute the next event horizon; a mutation
+                        makes the horizon depend on how often the
+                        scheduler polls, which is schedule-dependent
+                        and breaks determinism. Local variables are
+                        fine; members (trailing-underscore or
+                        this->) are not.
+  ledger-site           a `counters.blockedIdleCycles` increment in a
+                        function that never calls chargeCohCauses()
+                        or ledger->charge(). blockedIdleCycles is the
+                        Equation-1 COH numerator; charging it without
+                        the per-cause ledger split makes the causal
+                        attribution (DESIGN.md §14) drift from the
+                        aggregate it must decompose.
+  stats-registration    a field of a *Stats/*Counters struct that is
+                        registered nowhere, while sibling fields of
+                        the same struct are. An unregistered field is
+                        invisible in stats.json and escapes the
+                        determinism digest. Structs no registerStats()
+                        walk touches at all are out of scope (they
+                        aggregate through other paths).
 
 Exit status: 0 when clean, 1 when any finding is reported, 2 on
-usage errors.
+usage errors -- including a path that does not exist and a directory
+argument containing no C++ sources (a silently empty lint run is a
+lint failure: CI would report green while checking nothing).
 """
 
 import os
@@ -94,190 +125,809 @@ RULES = {
     "signal-unsafe":
         "non-async-signal-safe call inside a signal-handler-context "
         "region",
+    "nextwake-impure":
+        "nextWake() must be a const pure observer (the event core "
+        "polls it freely; mutation makes the horizon "
+        "schedule-dependent)",
+    "ledger-site":
+        "blocked-idle charge without a paired COH-ledger charge in "
+        "the same function (Equation-1 attribution drifts)",
+    "stats-registration":
+        "stats struct field never registered in any registerStats() "
+        "walk (invisible in stats.json and the determinism digest)",
 }
 
 ALLOW_RE = re.compile(r"simlint:\s*allow\(([a-z-]+)\)")
-
-# --- regex engine ----------------------------------------------------
-
-# `std::unordered_map<...> name` / `std::unordered_set<...> name_;`
-UNORDERED_DECL_RE = re.compile(
-    r"\bstd::unordered_(?:multi)?(?:map|set)\s*<")
-DECL_NAME_RE = re.compile(r">\s*\n?\s*(\w+)\s*[;={]")
-
-ENTROPY_RE = re.compile(
-    r"\b(?:s?rand\s*\(|std::random_device|gettimeofday\s*\(|"
-    r"\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)|clock\s*\(\s*\)|"
-    r"std::chrono::(?:system_clock|high_resolution_clock))")
-
-POINTER_KEY_RE = re.compile(
-    r"\bstd::(?:map|set|multimap|multiset)\s*<[^,>]*\*")
-
-# Range-for over a container; group 3 is any body on the same line.
-RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*:[^)]*\)\s*(.*)$")
-
-# First body statement that ticks an element with no guard around it.
-# `tickEvent(` deliberately does not match: that is the gated entry
-# point (it performs its own per-component due checks).
-TICK_CALL_RE = re.compile(r"^\s*\{?\s*\w+(?:->|\.)tick\s*\(")
-
-# Signal-handler-context region markers (crash-dump handler code).
-SIG_BEGIN_RE = re.compile(r"//\s*BEGIN signal-handler-context")
-SIG_END_RE = re.compile(r"//\s*END signal-handler-context")
-
-# The POSIX async-signal-safe list is a whitelist; flagging every
-# call outside it needs a type-aware engine, so this rule blacklists
-# the calls that actually appear in crash handlers in the wild:
-# allocation, stdio/iostream formatting, std::string construction,
-# locks, exceptions, and process-exit routines that run atexit hooks.
-SIGNAL_UNSAFE_RE = re.compile(
-    r"\b(?:malloc|calloc|realloc|free)\s*\(|"
-    r"\bnew\s+[A-Za-z_]|\bdelete\s|"
-    r"\b(?:printf|fprintf|sprintf|snprintf|puts|fputs|fopen|fclose|"
-    r"fwrite|fread|fflush|perror|syslog)\s*\(|"
-    r"\bstd::(?:cout|cerr|clog|string\b|ostringstream|stringstream|"
-    r"to_string|stoi|stoul|stoull|vector|function|"
-    r"mutex|lock_guard|unique_lock|scoped_lock|condition_variable)|"
-    r"\bthrow\s|"
-    r"\b(?:exit|abort|quick_exit)\s*\(")
-
-STRUCT_RE = re.compile(
-    r"^\s*struct\s+(\w*(?:Packet|Flit|Config|Params|Fields|Shape))"
-    r"\s*(?::[^{]*)?(\{?)\s*$")
-
-# Scalar types whose fields must carry `= ...` or `{...}`.
-SCALAR_TYPE = (
-    r"(?:bool|char|short|int|long|unsigned|float|double|"
-    r"std::u?int(?:8|16|32|64)_t|std::size_t|std::ptrdiff_t|"
-    r"Cycle|Addr|NodeId|ThreadId|OneHot|MsgType|size_t)")
-FIELD_RE = re.compile(
-    r"^\s*(?:mutable\s+)?(?:const\s+)?"
-    r"(?:unsigned\s+|signed\s+|long\s+|short\s+)*"
-    rf"{SCALAR_TYPE}(?:\s+|\s*\*\s*)(\w+)\s*;\s*(?://.*|/\*.*)?$")
 
 
 def allowed(lines, idx, rule):
     """A `simlint: allow(rule)` on this or the preceding line."""
     for i in (idx, idx - 1):
-        if i < 0:
+        if 0 <= i < len(lines):
+            m = ALLOW_RE.search(lines[i])
+            if m and m.group(1) == rule:
+                return True
+    return False
+
+
+# --- tokenizer -------------------------------------------------------
+#
+# kinds: "id" (identifiers and keywords), "num", "str", "chr",
+# "punct". Comments and preprocessor directives are consumed here
+# (comment text is kept separately for the signal-handler-context
+# markers), so no rule can ever match inside one.
+
+PUNCTS3 = ("<<=", ">>=", "->*", "...")
+PUNCTS2 = ("::", "->", "++", "--", "<<", ">>", "<=", ">=", "==",
+           "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=",
+           "|=", "^=")
+RAW_PREFIXES = ("R", "LR", "uR", "UR", "u8R")
+
+
+class Tok:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind, text, line):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self):
+        return f"{self.kind}:{self.text}@{self.line}"
+
+
+def tokenize(text):
+    """Return (tokens, comments) where comments is [(line, text)]."""
+    toks, comments = [], []
+    i, n, line = 0, len(text), 1
+    bol = True  # only whitespace seen since line start
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            bol = True
             continue
-        m = ALLOW_RE.search(lines[i])
-        if m and m.group(1) == rule:
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        if c == "#" and bol:
+            # Preprocessor directive: swallow it, honoring
+            # backslash continuations.
+            while i < n:
+                j = text.find("\n", i)
+                if j < 0:
+                    i = n
+                    break
+                if text[j - 1] == "\\" or \
+                        (j >= 2 and text[j - 2:j] == "\\\r"):
+                    line += 1
+                    i = j + 1
+                    continue
+                i = j  # leave the newline for the main loop
+                break
+            continue
+        bol = False
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            comments.append((line, text[i:j]))
+            i = j
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            end = n if j < 0 else j + 2
+            seg = text[i:end]
+            comments.append((line, seg))
+            line += seg.count("\n")
+            i = end
+            continue
+        if c == '"':
+            if toks and toks[-1].kind == "id" and \
+                    toks[-1].text in RAW_PREFIXES:
+                # Raw string: R"delim( ... )delim"
+                toks.pop()
+                j = text.find("(", i)
+                delim = text[i + 1:j] if j > 0 else ""
+                close = ")" + delim + '"'
+                k = text.find(close, j + 1)
+                end = n if k < 0 else k + len(close)
+                seg = text[i:end]
+                toks.append(Tok("str", seg, line))
+                line += seg.count("\n")
+                i = end
+                continue
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            toks.append(Tok("str", text[i:j], line))
+            i = j
+            continue
+        if c == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            toks.append(Tok("chr", text[i:j], line))
+            i = j
+            continue
+        if c.isalpha() or c == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            toks.append(Tok("id", text[i:j], line))
+            i = j
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and
+                           text[i + 1].isdigit()):
+            j = i + 1
+            while j < n:
+                d = text[j]
+                if d.isalnum() or d in "'._":
+                    j += 1
+                elif d in "+-" and text[j - 1] in "eEpP":
+                    j += 1
+                else:
+                    break
+            toks.append(Tok("num", text[i:j], line))
+            i = j
+            continue
+        for p in PUNCTS3:
+            if text.startswith(p, i):
+                toks.append(Tok("punct", p, line))
+                i += 3
+                break
+        else:
+            for p in PUNCTS2:
+                if text.startswith(p, i):
+                    toks.append(Tok("punct", p, line))
+                    i += 2
+                    break
+            else:
+                toks.append(Tok("punct", c, line))
+                i += 1
+    return toks, comments
+
+
+def match_pairs(toks, open_c, close_c):
+    """open-index <-> close-index map; strays are tolerated."""
+    pairs, stack = {}, []
+    for idx, t in enumerate(toks):
+        if t.kind != "punct":
+            continue
+        if t.text == open_c:
+            stack.append(idx)
+        elif t.text == close_c and stack:
+            o = stack.pop()
+            pairs[o] = idx
+            pairs[idx] = o
+    return pairs
+
+
+# --- structural parser ----------------------------------------------
+
+CTRL_KEYWORDS = {"if", "for", "while", "switch", "catch"}
+TRAIL_QUALS = {"const", "noexcept", "override", "final"}
+
+
+def find_functions(toks, braces, parens):
+    """Classify brace blocks that are function bodies.
+
+    A body's opening brace is reached by walking back over trailing
+    qualifiers to a `)` whose matching `(` is preceded by a
+    non-control-keyword identifier (the function name, possibly
+    `Class::`-qualified) or by `]` (a lambda). Constructor
+    member-init lists classify as a body named after the last
+    initializer, which is harmless: the name-driven rules only look
+    for nextWake/registerStats.
+
+    Returns [{name, const, line, open, close}].
+    """
+    fns = []
+    for idx, t in enumerate(toks):
+        if t.kind != "punct" or t.text != "{" or idx not in braces:
+            continue
+        j = idx - 1
+        is_const = False
+        while j >= 0:
+            tj = toks[j]
+            if tj.kind == "id" and tj.text in TRAIL_QUALS:
+                is_const = is_const or tj.text == "const"
+                j -= 1
+                continue
+            if tj.kind == "punct" and tj.text in ("&",):
+                j -= 1
+                continue
+            if tj.kind == "punct" and tj.text == ")" and j in parens:
+                o = parens[j]
+                before = o - 1
+                if before >= 0 and toks[before].kind == "id" and \
+                        toks[before].text == "noexcept":
+                    j = before - 1  # noexcept(expr): keep walking
+                    continue
+            break
+        if j < 0:
+            continue
+        tj = toks[j]
+        if tj.kind != "punct" or tj.text != ")" or j not in parens:
+            continue
+        o = parens[j]
+        before = o - 1
+        if before < 0:
+            continue
+        tb = toks[before]
+        if tb.kind == "punct" and tb.text == "]":
+            fns.append({"name": "<lambda>", "const": False,
+                        "line": t.line, "open": idx,
+                        "close": braces[idx]})
+            continue
+        if tb.kind != "id" or tb.text in CTRL_KEYWORDS:
+            continue
+        fns.append({"name": tb.text, "const": is_const,
+                    "line": tb.line, "open": idx,
+                    "close": braces[idx]})
+    return fns
+
+
+def find_structs(toks, braces):
+    """[(name, open_idx, close_idx, line)] for struct/class blocks."""
+    out = []
+    for idx, t in enumerate(toks):
+        if t.kind != "id" or t.text not in ("struct", "class"):
+            continue
+        if idx > 0 and toks[idx - 1].kind == "id" and \
+                toks[idx - 1].text == "enum":
+            continue  # enum class: constants are not fields
+        if idx + 1 >= len(toks) or toks[idx + 1].kind != "id":
+            continue
+        name = toks[idx + 1].text
+        k = idx + 2
+        while k < len(toks) and toks[k].text not in \
+                ("{", ";", "(", ")", "="):
+            k += 1
+        if k < len(toks) and toks[k].text == "{" and k in braces:
+            out.append((name, k, braces[k], toks[idx + 1].line))
+    return out
+
+
+FIELD_SKIP_LEAD = {"using", "typedef", "static", "friend", "template",
+                   "operator", "public", "private", "protected",
+                   "struct", "class", "enum", "union", "explicit",
+                   "virtual", "constexpr", "inline"}
+
+
+def struct_fields(toks, braces, open_idx, close_idx):
+    """Field declarations directly inside a struct block.
+
+    Returns [(name, line, type_tokens, initialized)]. Member
+    functions (any run containing '(') and nested types are skipped;
+    a brace or '=' initializer marks the field initialized.
+    """
+    fields = []
+    run = []
+    i = open_idx + 1
+    while i < close_idx:
+        t = toks[i]
+        if t.kind == "punct" and t.text == "{":
+            close = braces.get(i, close_idx)
+            if any(x.kind == "punct" and x.text == "(" for x in run) \
+                    or (run and run[0].kind == "id" and
+                        run[0].text in FIELD_SKIP_LEAD):
+                run = []  # method body / nested type: not a field
+            else:
+                run.append(t)  # brace initializer
+            i = close + 1
+            continue
+        if t.kind == "punct" and t.text == ";":
+            if run:
+                fields.append(run)
+            run = []
+            i += 1
+            continue
+        run.append(t)
+        i += 1
+
+    out = []
+    for run in fields:
+        if run[0].kind == "id" and run[0].text in FIELD_SKIP_LEAD:
+            continue
+        if any(x.kind == "punct" and x.text == "(" for x in run):
+            continue  # function declaration
+        name_idx = None
+        for k, x in enumerate(run):
+            if x.kind == "punct" and x.text in ("=", "{", "[", ":"):
+                break
+            if x.kind == "id":
+                name_idx = k
+        if name_idx is None:
+            continue
+        initialized = any(
+            x.kind == "punct" and x.text in ("=", "{") for x in run)
+        out.append((run[name_idx].text, run[name_idx].line,
+                    run[:name_idx], initialized))
+    return out
+
+
+# --- per-file model --------------------------------------------------
+
+SIG_BEGIN_RE = re.compile(r"BEGIN signal-handler-context")
+SIG_END_RE = re.compile(r"END signal-handler-context")
+
+
+class FileModel:
+    """Tokens plus the structural facts every rule consumes."""
+
+    def __init__(self, path, text):
+        self.path = path
+        self.lines = text.splitlines()
+        self.toks, self.comments = tokenize(text)
+        self.braces = match_pairs(self.toks, "{", "}")
+        self.parens = match_pairs(self.toks, "(", ")")
+        self.functions = find_functions(self.toks, self.braces,
+                                        self.parens)
+        self.structs = find_structs(self.toks, self.braces)
+        self.signal_regions = self._signal_regions()
+
+    def _signal_regions(self):
+        regions, start = [], None
+        for line, ctext in self.comments:
+            if SIG_BEGIN_RE.search(ctext):
+                start = line
+            elif SIG_END_RE.search(ctext) and start is not None:
+                regions.append((start, line))
+                start = None
+        if start is not None:
+            regions.append((start, len(self.lines) + 1))
+        return regions
+
+    def in_signal_region(self, line):
+        return any(a < line < b for a, b in self.signal_regions)
+
+    def excerpt(self, line):
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def allowed(self, line, rule):
+        return allowed(self.lines, line - 1, rule)
+
+
+# --- determinism rules (token engine) --------------------------------
+
+UNORDERED = {"unordered_map", "unordered_set", "unordered_multimap",
+             "unordered_multiset"}
+ORDERED = {"map", "set", "multimap", "multiset"}
+
+
+def skip_angles(toks, i):
+    """i indexes '<'; return the index just past the matching '>'."""
+    depth = 0
+    while i < len(toks):
+        t = toks[i]
+        if t.kind == "punct":
+            if t.text == "<":
+                depth += 1
+            elif t.text == "<<":
+                depth += 2
+            elif t.text == ">":
+                depth -= 1
+                if depth == 0:
+                    return i + 1
+            elif t.text == ">>":
+                depth -= 2
+                if depth <= 0:
+                    return i + 1
+            elif t.text in (";", "{"):
+                return i  # not a template argument list after all
+        i += 1
+    return i
+
+
+def unordered_names(model):
+    """Names declared with an unordered container type."""
+    names = set()
+    toks = model.toks
+    for i, t in enumerate(toks):
+        if t.kind != "id" or t.text not in UNORDERED:
+            continue
+        if i + 1 >= len(toks) or toks[i + 1].text != "<":
+            continue
+        j = skip_angles(toks, i + 1)
+        if j < len(toks) and toks[j].kind == "id" and \
+                j + 1 < len(toks) and toks[j + 1].text in \
+                (";", "=", "{", ","):
+            names.add(toks[j].text)
+    return names
+
+
+def rule_unordered_iteration(model, report):
+    hot = unordered_names(model)
+    if not hot:
+        return
+    toks = model.toks
+    for i, t in enumerate(toks):
+        if t.kind == "id" and t.text in hot:
+            # NAME.begin( / NAME->begin(
+            if i + 2 < len(toks) and toks[i + 1].text in (".", "->") \
+                    and toks[i + 2].text == "begin":
+                if not model.allowed(t.line, "unordered-iteration"):
+                    report(model.path, t.line, "unordered-iteration",
+                           model.excerpt(t.line))
+            # for ( ... : [&] NAME )
+            if i + 1 < len(toks) and toks[i + 1].text == ")":
+                k = i - 1
+                if k >= 0 and toks[k].text in ("&", "*"):
+                    k -= 1
+                if k >= 0 and toks[k].text == ":":
+                    if not model.allowed(t.line,
+                                         "unordered-iteration"):
+                        report(model.path, t.line,
+                               "unordered-iteration",
+                               model.excerpt(t.line))
+
+
+ENTROPY_CALLS = {"rand", "srand", "gettimeofday"}
+ENTROPY_CHRONO = {"system_clock", "high_resolution_clock"}
+
+
+def rule_ambient_entropy(model, report):
+    toks = model.toks
+
+    def flag(line):
+        if not model.allowed(line, "ambient-entropy"):
+            report(model.path, line, "ambient-entropy",
+                   model.excerpt(line))
+
+    for i, t in enumerate(toks):
+        if t.kind != "id":
+            continue
+        prev = toks[i - 1] if i > 0 else None
+        member = prev is not None and prev.kind == "punct" and \
+            prev.text in (".", "->")
+        # A call never follows a type name; `unsigned rand()` is a
+        # (questionable but different) declaration, not a use.
+        decl = prev is not None and prev.kind == "id" and \
+            prev.text not in ("return", "co_return", "case", "else",
+                              "do", "goto")
+        nxt = toks[i + 1] if i + 1 < len(toks) else None
+        calls = nxt is not None and nxt.text == "(" and not decl
+        if t.text in ENTROPY_CALLS and calls and not member:
+            flag(t.line)
+        elif t.text == "time" and calls and not member:
+            # time(), time(NULL), time(nullptr), time(0)
+            arg = toks[i + 2] if i + 2 < len(toks) else None
+            close = toks[i + 3] if i + 3 < len(toks) else None
+            if arg is not None and (
+                    arg.text == ")" or
+                    (arg.text in ("NULL", "nullptr", "0") and
+                     close is not None and close.text == ")")):
+                flag(t.line)
+        elif t.text == "clock" and calls and not member:
+            arg = toks[i + 2] if i + 2 < len(toks) else None
+            if arg is not None and arg.text == ")":
+                flag(t.line)
+        elif t.text == "random_device":
+            flag(t.line)
+        elif t.text in ENTROPY_CHRONO and prev is not None and \
+                prev.text == "::":
+            flag(t.line)
+
+
+def rule_pointer_keyed_order(model, report):
+    toks = model.toks
+    for i, t in enumerate(toks):
+        if t.kind != "id" or t.text not in ORDERED:
+            continue
+        if i < 2 or toks[i - 1].text != "::" or \
+                toks[i - 2].text != "std":
+            continue
+        if i + 1 >= len(toks) or toks[i + 1].text != "<":
+            continue
+        # Scan the first template argument (the key type).
+        depth, j = 0, i + 1
+        star = False
+        while j < len(toks):
+            x = toks[j]
+            if x.kind == "punct":
+                if x.text == "<":
+                    depth += 1
+                elif x.text in (">", ">>"):
+                    depth -= 2 if x.text == ">>" else 1
+                    if depth <= 0:
+                        break
+                elif x.text == "," and depth == 1:
+                    break
+                elif x.text == "*" and depth == 1:
+                    star = True
+                elif x.text in (";", "{"):
+                    break
+            j += 1
+        if star and not model.allowed(t.line, "pointer-keyed-order"):
+            report(model.path, t.line, "pointer-keyed-order",
+                   model.excerpt(t.line))
+
+
+def rule_unconditional_tick(model, report):
+    toks = model.toks
+    for i, t in enumerate(toks):
+        if t.kind != "id" or t.text != "for":
+            continue
+        if i + 1 >= len(toks) or toks[i + 1].text != "(" or \
+                (i + 1) not in model.parens:
+            continue
+        close = model.parens[i + 1]
+        inner = toks[i + 2:close]
+        if not any(x.kind == "punct" and x.text == ":"
+                   for x in inner) or \
+                any(x.kind == "punct" and x.text == ";"
+                    for x in inner):
+            continue  # not a range-for
+        k = close + 1
+        if k < len(toks) and toks[k].text == "{":
+            k += 1
+        if k + 3 < len(toks) and toks[k].kind == "id" and \
+                toks[k + 1].text in (".", "->") and \
+                toks[k + 2].text == "tick" and \
+                toks[k + 3].text == "(":
+            if not model.allowed(t.line, "unconditional-tick"):
+                report(model.path, t.line, "unconditional-tick",
+                       model.excerpt(t.line))
+
+
+# --- signal-handler-context rule (token engine) ----------------------
+
+UNSAFE_CALLS = {"malloc", "calloc", "realloc", "free",
+                "printf", "fprintf", "sprintf", "snprintf", "puts",
+                "fputs", "fopen", "fclose", "fwrite", "fread",
+                "fflush", "perror", "syslog",
+                "exit", "quick_exit", "abort"}
+UNSAFE_STD = {"cout", "cerr", "clog", "string", "ostringstream",
+              "stringstream", "to_string", "stoi", "stoul", "stoull",
+              "vector", "function", "mutex", "lock_guard",
+              "unique_lock", "scoped_lock", "condition_variable"}
+
+
+def rule_signal_unsafe(model, report):
+    if not model.signal_regions:
+        return
+    toks = model.toks
+
+    def flag(line):
+        if not model.allowed(line, "signal-unsafe"):
+            report(model.path, line, "signal-unsafe",
+                   model.excerpt(line))
+
+    for i, t in enumerate(toks):
+        if not model.in_signal_region(t.line) or t.kind != "id":
+            continue
+        prev = toks[i - 1] if i > 0 else None
+        member = prev is not None and prev.kind == "punct" and \
+            prev.text in (".", "->")
+        nxt = toks[i + 1] if i + 1 < len(toks) else None
+        if t.text in ("new", "delete", "throw"):
+            flag(t.line)
+        elif t.text in UNSAFE_CALLS and not member and \
+                nxt is not None and nxt.text == "(":
+            flag(t.line)
+        elif t.text in UNSAFE_STD and prev is not None and \
+                prev.text == "::" and i >= 2 and \
+                toks[i - 2].text == "std":
+            flag(t.line)
+
+
+# --- missing-field-init (token engine) -------------------------------
+
+INIT_STRUCT_RE = re.compile(
+    r"(Packet|Flit|Config|Params|Fields|Shape)$")
+SCALAR_QUALS = {"mutable", "const", "volatile", "unsigned", "signed",
+                "long", "short"}
+SCALAR_NAMES = {"bool", "char", "short", "int", "long", "unsigned",
+                "float", "double", "size_t",
+                "uint8_t", "uint16_t", "uint32_t", "uint64_t",
+                "int8_t", "int16_t", "int32_t", "int64_t",
+                "ptrdiff_t",
+                "Cycle", "Addr", "NodeId", "ThreadId", "OneHot",
+                "MsgType"}
+
+
+def scalar_type(type_toks):
+    """Do the pre-name tokens spell a scalar (or scalar-pointer)?"""
+    core = []
+    for t in type_toks:
+        if t.kind == "id" and t.text in SCALAR_QUALS:
+            continue
+        if t.kind == "id" and t.text == "std":
+            continue
+        if t.kind == "punct" and t.text in ("::", "*"):
+            continue
+        core.append(t)
+    if not core:
+        # e.g. `unsigned x;` -- the qualifiers alone name the type.
+        return any(t.kind == "id" and t.text in
+                   ("unsigned", "signed", "long", "short", "const",
+                    "mutable") for t in type_toks)
+    return len(core) == 1 and core[0].kind == "id" and \
+        core[0].text in SCALAR_NAMES
+
+
+def rule_missing_field_init(model, report):
+    for name, sopen, sclose, _ in model.structs:
+        if not INIT_STRUCT_RE.search(name):
+            continue
+        for fname, fline, type_toks, initialized in \
+                struct_fields(model.toks, model.braces, sopen,
+                              sclose):
+            if initialized or not scalar_type(type_toks):
+                continue
+            if not model.allowed(fline, "missing-field-init"):
+                report(model.path, fline, "missing-field-init",
+                       model.excerpt(fline))
+
+
+# --- protocol-contract rules (structural engine) ---------------------
+
+MUTATING_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+                "<<=", ">>="}
+
+
+def member_like(toks, idx):
+    """toks[idx] names a member: trailing-underscore convention or
+    an explicit this-> access."""
+    t = toks[idx]
+    if t.kind != "id":
+        return False
+    if t.text.endswith("_"):
+        return True
+    return idx >= 2 and toks[idx - 1].text == "->" and \
+        toks[idx - 2].text == "this"
+
+
+def rule_nextwake_impure(model, report):
+    toks = model.toks
+    for fn in model.functions:
+        if fn["name"] != "nextWake":
+            continue
+        if not fn["const"]:
+            if not model.allowed(fn["line"], "nextwake-impure"):
+                report(model.path, fn["line"], "nextwake-impure",
+                       model.excerpt(fn["line"]))
+        for i in range(fn["open"] + 1, fn["close"]):
+            t = toks[i]
+            if t.kind != "punct":
+                continue
+            if t.text in MUTATING_OPS and t.text != "=":
+                if i > 0 and member_like(toks, i - 1) and \
+                        not model.allowed(t.line, "nextwake-impure"):
+                    report(model.path, t.line, "nextwake-impure",
+                           model.excerpt(t.line))
+            elif t.text == "=":
+                # Assignment, not comparison: the tokenizer already
+                # folded ==/<=/>=/!= into single tokens.
+                if i > 0 and member_like(toks, i - 1) and \
+                        not model.allowed(t.line, "nextwake-impure"):
+                    report(model.path, t.line, "nextwake-impure",
+                           model.excerpt(t.line))
+            elif t.text in ("++", "--"):
+                for adj in (i - 1, i + 1):
+                    if 0 <= adj < len(toks) and \
+                            member_like(toks, adj):
+                        if not model.allowed(t.line,
+                                             "nextwake-impure"):
+                            report(model.path, t.line,
+                                   "nextwake-impure",
+                                   model.excerpt(t.line))
+                        break
+
+
+def charge_sites(toks, lo, hi):
+    """Token indexes of `counters.blockedIdleCycles` mutations."""
+    sites = []
+    for i in range(lo, hi):
+        t = toks[i]
+        if t.kind != "id" or t.text != "blockedIdleCycles":
+            continue
+        if i < 2 or toks[i - 1].text != "." or \
+                toks[i - 2].text != "counters":
+            continue
+        nxt = toks[i + 1] if i + 1 < len(toks) else None
+        if nxt is not None and nxt.kind == "punct" and \
+                (nxt.text in MUTATING_OPS or nxt.text in
+                 ("++", "--")):
+            sites.append(i)
+            continue
+        # Prefix ++/--: walk back over the object path to the head.
+        h = i - 2
+        while h >= 2 and toks[h - 1].text in (".", "->"):
+            h -= 2
+        if h >= 1 and toks[h - 1].text in ("++", "--"):
+            sites.append(i)
+    return sites
+
+
+def has_ledger_charge(toks, lo, hi):
+    for i in range(lo, hi):
+        t = toks[i]
+        if t.kind != "id":
+            continue
+        if t.text == "chargeCohCauses":
+            return True
+        if t.text == "charge" and i >= 2 and \
+                toks[i - 1].text in (".", "->") and \
+                toks[i - 2].kind == "id" and \
+                toks[i - 2].text.startswith("ledger"):
             return True
     return False
 
 
-def unordered_names(text):
-    """Names declared as unordered containers in this file."""
-    names = set()
-    for m in UNORDERED_DECL_RE.finditer(text):
-        # Scan forward past the (possibly nested) template argument
-        # list to the declared name.
-        depth, i = 0, m.end() - 1
-        while i < len(text):
-            if text[i] == "<":
-                depth += 1
-            elif text[i] == ">":
-                depth -= 1
-                if depth == 0:
-                    break
-            i += 1
-        tail = text[i:i + 120]
-        dm = re.match(r">\s*(\w+)\s*[;={]", tail)
-        if dm:
-            names.add(dm.group(1))
-    return names
-
-
-def lint_file(path, report):
-    with open(path, encoding="utf-8", errors="replace") as f:
-        text = f.read()
-    lines = text.splitlines()
-    hot = unordered_names(text)
-
-    iter_res = []
-    for name in hot:
-        iter_res.append(re.compile(
-            rf"for\s*\([^;)]*:\s*&?\s*{re.escape(name)}\s*\)"))
-        iter_res.append(re.compile(rf"\b{re.escape(name)}\.begin\s*\("))
-
-    struct_depth = None  # brace depth inside a matched struct
-    pending_struct = None
-    in_signal_ctx = False
-
-    for idx, line in enumerate(lines):
-        lineno = idx + 1
-        stripped = line.strip()
-        if SIG_BEGIN_RE.search(line):
-            in_signal_ctx = True
+def rule_ledger_site(model, report):
+    toks = model.toks
+    for fn in model.functions:
+        lo, hi = fn["open"] + 1, fn["close"]
+        sites = charge_sites(toks, lo, hi)
+        if not sites:
             continue
-        if SIG_END_RE.search(line):
-            in_signal_ctx = False
+        if has_ledger_charge(toks, lo, hi):
             continue
-        if stripped.startswith("//") or stripped.startswith("*"):
+        for i in sites:
+            line = toks[i].line
+            if not model.allowed(line, "ledger-site"):
+                report(model.path, line, "ledger-site",
+                       model.excerpt(line))
+
+
+STATS_STRUCT_RE = re.compile(r"(Stats|Counters)$")
+
+
+def stats_struct_fields(model):
+    """[(struct, field, line, allowed)] for *Stats/*Counters."""
+    out = []
+    for name, sopen, sclose, _ in model.structs:
+        if not STATS_STRUCT_RE.search(name):
             continue
+        for fname, fline, _, _ in \
+                struct_fields(model.toks, model.braces, sopen,
+                              sclose):
+            out.append((name, fname, fline,
+                        model.allowed(fline, "stats-registration")))
+    return out
 
-        if in_signal_ctx and SIGNAL_UNSAFE_RE.search(line) \
-                and not allowed(lines, idx, "signal-unsafe"):
-            report(path, lineno, "signal-unsafe", stripped)
 
-        for rx in iter_res:
-            if rx.search(line) and not allowed(
-                    lines, idx, "unordered-iteration"):
-                report(path, lineno, "unordered-iteration", stripped)
+REGISTER_FN_RE = re.compile(r"^register\w*Stats$")
 
-        if ENTROPY_RE.search(line) and not allowed(
-                lines, idx, "ambient-entropy"):
-            report(path, lineno, "ambient-entropy", stripped)
 
-        if POINTER_KEY_RE.search(line) and not allowed(
-                lines, idx, "pointer-keyed-order"):
-            report(path, lineno, "pointer-keyed-order", stripped)
-
-        fm_for = RANGE_FOR_RE.search(line)
-        if fm_for and not allowed(lines, idx, "unconditional-tick"):
-            body = fm_for.group(1)
-            if not body:
-                # Body starts on a following line; skip blanks,
-                # comments and a lone opening brace to the first
-                # statement.
-                j = idx + 1
-                while j < len(lines):
-                    nxt = lines[j].strip()
-                    if nxt and nxt != "{" \
-                            and not nxt.startswith("//") \
-                            and not nxt.startswith("*"):
-                        body = nxt
-                        break
-                    j += 1
-            if body and TICK_CALL_RE.match(body):
-                report(path, lineno, "unconditional-tick", stripped)
-
-        # --- struct field tracking ---------------------------------
-        sm = STRUCT_RE.match(line)
-        if sm and struct_depth is None:
-            if sm.group(2) == "{":
-                struct_depth = 1
-            else:
-                pending_struct = True
+def registered_identifiers(model):
+    """All identifiers inside register*Stats() bodies (the stats
+    walks: registerStats, registerWakeStats, ...)."""
+    ids = set()
+    for fn in model.functions:
+        if not REGISTER_FN_RE.match(fn["name"]):
             continue
-        if pending_struct:
-            if "{" in line:
-                struct_depth, pending_struct = 1, None
-            elif stripped and not stripped.startswith(":"):
-                pending_struct = None  # forward declaration etc.
+        for i in range(fn["open"] + 1, fn["close"]):
+            if model.toks[i].kind == "id":
+                ids.add(model.toks[i].text)
+    return ids
+
+
+def check_stats_registration(per_file_fields, registered, report):
+    """Cross-file pass: a partially registered stats struct must be
+    fully registered. Structs with no registered field at all are
+    out of scope (they aggregate through other paths, e.g. the
+    result-cache merges ThreadCounters structurally)."""
+    by_struct = {}
+    for path, rows in per_file_fields:
+        for sname, fname, fline, allow in rows:
+            by_struct.setdefault((path, sname), []).append(
+                (fname, fline, allow))
+    for (path, sname), rows in sorted(by_struct.items()):
+        names = {f for f, _, _ in rows}
+        if not names & registered:
             continue
-        if struct_depth is not None:
-            struct_depth += line.count("{") - line.count("}")
-            if struct_depth <= 0:
-                struct_depth = None
+        for fname, fline, allow in rows:
+            if fname in registered or allow:
                 continue
-            if struct_depth == 1:
-                fm = FIELD_RE.match(line)
-                if fm and not allowed(
-                        lines, idx, "missing-field-init"):
-                    report(path, lineno, "missing-field-init",
-                           stripped)
+            report(path, fline, "stats-registration",
+                   f"{sname}::{fname} is never registered")
 
 
 # --- optional libclang engine ---------------------------------------
@@ -286,8 +936,8 @@ def try_libclang(paths):
     """AST versions of two rules when python-clang is installed.
 
     Returns None when the bindings are unavailable (the common case
-    in this repo's container); callers then rely on the regex engine
-    alone. Findings are (path, line, rule, excerpt) tuples.
+    in this repo's container); callers then rely on the tokenizer
+    engine alone. Findings are (path, line, rule, excerpt) tuples.
     """
     try:
         from clang import cindex  # noqa: F401
@@ -335,6 +985,18 @@ def try_libclang(paths):
 
 # --- driver ----------------------------------------------------------
 
+PER_FILE_RULES = (
+    rule_unordered_iteration,
+    rule_ambient_entropy,
+    rule_pointer_keyed_order,
+    rule_unconditional_tick,
+    rule_signal_unsafe,
+    rule_missing_field_init,
+    rule_nextwake_impure,
+    rule_ledger_site,
+)
+
+
 def collect(roots):
     files = []
     for root in roots:
@@ -345,11 +1007,19 @@ def collect(roots):
             print(f"simlint: no such file or directory: {root}",
                   file=sys.stderr)
             sys.exit(2)
+        matched = []
         for dirpath, _, names in os.walk(root):
             for name in sorted(names):
                 if name.endswith(CXX_EXT):
-                    files.append(os.path.join(dirpath, name))
-    return sorted(files)
+                    matched.append(os.path.join(dirpath, name))
+        if not matched:
+            # An empty lint run must not report green: CI pointing
+            # at a renamed directory would silently check nothing.
+            print(f"simlint: no C++ sources under: {root}",
+                  file=sys.stderr)
+            sys.exit(2)
+        files += matched
+    return sorted(set(files))
 
 
 def main(argv):
@@ -368,18 +1038,28 @@ def main(argv):
         findings.append((path, lineno, rule, excerpt))
 
     files = collect(args)
+    stats_rows = []
+    registered = set()
     for path in files:
-        lint_file(path, report)
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        model = FileModel(path, text)
+        for rule in PER_FILE_RULES:
+            rule(model, report)
+        stats_rows.append((path, stats_struct_fields(model)))
+        registered |= registered_identifiers(model)
+
+    check_stats_registration(stats_rows, registered, report)
 
     ast = try_libclang(files)
     if ast:
         known = {(p, ln, r) for p, ln, r, _ in findings}
         findings += [f for f in ast if f[:3] not in known]
 
-    for path, lineno, rule, excerpt in sorted(findings):
+    for path, lineno, rule, excerpt in sorted(set(findings)):
         print(f"{path}:{lineno}: [{rule}] {RULES[rule]}")
         print(f"    {excerpt[:100]}")
-    n = len(findings)
+    n = len(set(findings))
     print(f"simlint: {len(files)} files, "
           f"{n} finding{'s' if n != 1 else ''}")
     return 1 if findings else 0

@@ -200,8 +200,25 @@ CheckerRegistry::onWakeConsumed(Addr lock, ThreadId tid, Cycle now)
 void
 CheckerRegistry::onCycleEnd(Cycle now)
 {
-    if (mutex_ && sys_)
-        mutex_->onCycle(*sys_, now);
+    if (!mutex_ || !sys_)
+        return;
+    const unsigned n = sys_->numThreads();
+    holderView_.resize(n);
+    for (ThreadId t = 0; t < n; ++t) {
+        const QSpinlock &qs = sys_->qspinlock(t);
+        holderView_[t] = {qs.holding(),
+                          sys_->pcb(t).state == ThreadState::InCS,
+                          qs.currentLock()};
+    }
+    mutex_->onHolderWalk(holderView_, now);
+}
+
+void
+CheckerRegistry::onHolderWalk(const std::vector<HolderView> &view,
+                              Cycle now)
+{
+    if (mutex_)
+        mutex_->onHolderWalk(view, now);
 }
 
 void

@@ -104,8 +104,13 @@ class CheckerRegistry
     void onWakeConsumed(Addr lock, ThreadId tid, Cycle now);
 
     // --- simulation loop hooks --------------------------------------
-    /** End-of-cycle global invariants (mutual exclusion walk). */
+    /** End-of-cycle global invariants (mutual exclusion walk over
+     * the attached System). */
     void onCycleEnd(Cycle now);
+
+    /** Mutual-exclusion walk over an externally built snapshot
+     * (model-checker replay: no System attached). */
+    void onHolderWalk(const std::vector<HolderView> &view, Cycle now);
 
     /** End-of-run invariants (conservation, lost wakeups). */
     void finalize(Cycle now);
@@ -130,6 +135,9 @@ class CheckerRegistry
     std::unique_ptr<CreditChecker> credit_;
     std::unique_ptr<RtrChecker> rtr_;
     std::unique_ptr<WakeupChecker> wakeup_;
+
+    /** Scratch snapshot for onCycleEnd (reused, no per-cycle alloc). */
+    std::vector<HolderView> holderView_;
 
     std::vector<CheckViolation> violations_;
     ViolationHandler handler_;

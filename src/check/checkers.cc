@@ -17,22 +17,21 @@ namespace ocor
 // --- MutexChecker ---------------------------------------------------
 
 void
-MutexChecker::onCycle(System &sys, Cycle now)
+MutexChecker::onHolderWalk(const std::vector<HolderView> &view,
+                           Cycle now)
 {
     holders_.clear();
-    const unsigned n = sys.numThreads();
-    for (ThreadId t = 0; t < n; ++t) {
-        const QSpinlock &qs = sys.qspinlock(t);
-        const bool in_cs = sys.pcb(t).state == ThreadState::InCS;
-        if (!qs.holding() && !in_cs)
+    for (ThreadId t = 0; t < view.size(); ++t) {
+        const HolderView &v = view[t];
+        if (!v.holding && !v.inCs)
             continue;
-        if (in_cs && !qs.holding()) {
+        if (v.inCs && !v.holding) {
             report_(CheckId::Mutex, now,
                     fmt("thread %u is InCS without holding any lock",
                         t));
             continue;
         }
-        holders_.emplace_back(qs.currentLock(), t);
+        holders_.emplace_back(v.lock, t);
     }
     if (holders_.size() < 2)
         return;

@@ -71,6 +71,19 @@ struct CheckViolation
 using ReportFn = std::function<void(CheckId, Cycle,
                                     const std::string &)>;
 
+/**
+ * One thread's lock-client snapshot for the mutual-exclusion walk.
+ * Built from a live System at the end of every checked cycle, or
+ * from abstract protocol state by the model-checker replay harness
+ * (src/verify) — the checker itself needs no System.
+ */
+struct HolderView
+{
+    bool holding = false; ///< lock client owns / is entering a CS
+    bool inCs = false;    ///< thread scheduler state says InCS
+    Addr lock = 0;        ///< the lock word `holding` refers to
+};
+
 /** Mutual exclusion: <=1 holder / CS occupant per lock word. */
 class MutexChecker
 {
@@ -78,8 +91,8 @@ class MutexChecker
     explicit MutexChecker(ReportFn report) : report_(std::move(report))
     {}
 
-    /** Walk every thread's lock-client state at the end of a cycle. */
-    void onCycle(System &sys, Cycle now);
+    /** Check the per-thread snapshots (index = ThreadId). */
+    void onHolderWalk(const std::vector<HolderView> &view, Cycle now);
 
   private:
     ReportFn report_;

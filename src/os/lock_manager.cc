@@ -19,28 +19,29 @@ bool
 LockManager::heldNow(Addr lock_word) const
 {
     auto it = locks_.find(lock_word);
-    return it != locks_.end() && it->second.held;
+    return it != locks_.end() && it->second.core.held;
 }
 
 ThreadId
 LockManager::holderOf(Addr lock_word) const
 {
     auto it = locks_.find(lock_word);
-    return it == locks_.end() ? invalidThread : it->second.holder;
+    return it == locks_.end() ? invalidThread
+                              : it->second.core.holder;
 }
 
 std::size_t
 LockManager::queueLength(Addr lock_word) const
 {
     auto it = locks_.find(lock_word);
-    return it == locks_.end() ? 0 : it->second.waitQueue.size();
+    return it == locks_.end() ? 0 : it->second.core.waitQueue.size();
 }
 
 std::size_t
 LockManager::pollerCount(Addr lock_word) const
 {
     auto it = locks_.find(lock_word);
-    return it == locks_.end() ? 0 : it->second.pollers.size();
+    return it == locks_.end() ? 0 : it->second.core.pollers.size();
 }
 
 void
@@ -87,192 +88,134 @@ LockManager::process(const PacketPtr &pkt, Cycle now)
 {
     LockState &lock = locks_[pkt->addr];
 
-    auto drop_poller = [&](ThreadId tid) {
-        std::erase_if(lock.pollers, [tid](const auto &p) {
-            return p.first == tid;
-        });
-    };
-    auto drop_waiter = [&](ThreadId tid) {
-        std::erase_if(lock.waitQueue, [tid](const auto &p) {
-            return p.first == tid;
-        });
-    };
+    const proto::MsgKind kind = [&] {
+        switch (pkt->type) {
+          case MsgType::LockTry:     return proto::MsgKind::LockTry;
+          case MsgType::LockRelease:
+              return proto::MsgKind::LockRelease;
+          case MsgType::FutexWait:   return proto::MsgKind::FutexWait;
+          case MsgType::FutexWake:   return proto::MsgKind::FutexWake;
+          default:
+            ocor_panic("LockManager %u: unexpected message %s", node_,
+                       msgTypeName(pkt->type));
+        }
+    }();
 
-    switch (pkt->type) {
-      case MsgType::LockTry: {
+    // The protocol decision itself is the pure step shared with the
+    // model checker (DESIGN.md §15); everything below maps its
+    // outcome onto stats, traces, checker hooks and real packets.
+    proto::HomeResult res = proto::homeStep(
+        lock.core, kind, pkt->thread, pkt->src,
+        params_.sleepWatchdogCycles > 0);
+
+    switch (res.outcome) {
+      case proto::HomeOutcome::Granted:
         ++stats_.tries;
-        MsgType resp_type;
-        if (lock.held && lock.holder == pkt->thread) {
-            // Retransmitted LockTry whose original already won (the
-            // grant or the duplicate raced through): re-grant
-            // idempotently. Unreachable in fault-free runs — a thread
-            // never re-tries while holding.
-            ++stats_.duplicateTries;
-            resp_type = MsgType::LockGrant;
-        } else if (!lock.held) {
-            lock.held = true;
-            lock.holder = pkt->thread;
-            resp_type = MsgType::LockGrant;
-            ++stats_.grants;
-            noteGrant(lock, pkt->addr, pkt->thread, now);
-            drop_poller(pkt->thread);
-            drop_waiter(pkt->thread);
-        } else {
-            resp_type = MsgType::LockFail;
-            ++stats_.fails;
-            // The loser keeps a cached (shared) copy of the lock
-            // line and polls it locally; remember to invalidate it
-            // on release (Figure 4).
-            bool known = std::any_of(
-                lock.pollers.begin(), lock.pollers.end(),
-                [&](const auto &p) { return p.first == pkt->thread; });
-            if (!known)
-                lock.pollers.emplace_back(pkt->thread, pkt->src);
-        }
-        auto resp = makePacket(resp_type, node_, pkt->src, pkt->addr);
-        resp->thread = pkt->thread;
-        // Responses inherit the request's urgency so a grant is not
-        // stuck behind background traffic on the way back.
-        resp->priority = pkt->priority;
-        send_(resp, now);
+        ++stats_.grants;
+        noteGrant(lock, pkt->addr, pkt->thread, now);
         break;
-      }
-
-      case MsgType::LockRelease: {
-        if (!lock.held || lock.holder != pkt->thread) {
-            // Stray release: a duplicate of a release already
-            // processed, an orphan-grant return racing a legitimate
-            // re-acquisition, or (fault-free) a buggy client. Absorb
-            // — honoring it would free a lock someone else holds.
-            ++stats_.strayReleases;
-            ocor_warn("LockManager %u: stray release of %llx by t%u "
-                      "(held=%d holder=%u) absorbed", node_,
-                      static_cast<unsigned long long>(pkt->addr),
-                      pkt->thread, lock.held ? 1 : 0, lock.holder);
-            break;
-        }
+      case proto::HomeOutcome::ReGranted:
+        ++stats_.tries;
+        ++stats_.duplicateTries;
+        break;
+      case proto::HomeOutcome::Failed:
+        ++stats_.tries;
+        ++stats_.fails;
+        break;
+      case proto::HomeOutcome::Released:
         ++stats_.releases;
-        lock.held = false;
-        lock.holder = invalidThread;
         lock.lastRelease = now;
+        break;
+      case proto::HomeOutcome::StrayRelease:
+        // A duplicate of a release already processed, an
+        // orphan-grant return racing a legitimate re-acquisition,
+        // or (fault-free) a buggy client.
+        ++stats_.strayReleases;
+        ocor_warn("LockManager %u: stray release of %llx by t%u "
+                  "(held=%d holder=%u) absorbed", node_,
+                  static_cast<unsigned long long>(pkt->addr),
+                  pkt->thread, lock.core.held ? 1 : 0,
+                  lock.core.holder);
+        break;
+      case proto::HomeOutcome::Queued:
+        ++stats_.futexWaits;
+        break;
+      case proto::HomeOutcome::DuplicateWait:
+        ++stats_.futexWaits;
+        ++stats_.duplicateWaits;
+        break;
+      case proto::HomeOutcome::ImmediateWake:
+        ++stats_.futexWaits;
+        ++stats_.immediateWakes;
+        noteGrant(lock, pkt->addr, pkt->thread, now);
+        break;
+      case proto::HomeOutcome::HolderRewake:
+        ++stats_.futexWaits;
+        ++stats_.rewakes;
+        break;
+      case proto::HomeOutcome::HolderWaitNoop:
+        ++stats_.futexWaits;
+        break;
+      case proto::HomeOutcome::Woken:
+        ++stats_.wakes;
+        if (!res.sends.empty())
+            noteGrant(lock, pkt->addr, res.sends.front().thread,
+                      now);
+        break;
+      case proto::HomeOutcome::WakeNoop:
+        break;
+    }
 
-        // Invalidate every polling sharer's cached copy: the spinning
-        // threads race fresh atomic requests back (Figure 4a, T4/T5).
-        for (const auto &[tid, tnode] : lock.pollers) {
+    for (const proto::HomeSend &s : res.sends) {
+        switch (s.kind) {
+          case proto::MsgKind::LockGrant:
+          case proto::MsgKind::LockFail: {
+            auto resp = makePacket(s.kind == proto::MsgKind::LockGrant
+                                       ? MsgType::LockGrant
+                                       : MsgType::LockFail,
+                                   node_, s.node, pkt->addr);
+            resp->thread = s.thread;
+            // Responses inherit the request's urgency so a grant is
+            // not stuck behind background traffic on the way back.
+            resp->priority = pkt->priority;
+            send_(resp, now);
+            break;
+          }
+          case proto::MsgKind::LockFreeNotify: {
             auto inv = makePacket(MsgType::LockFreeNotify, node_,
-                                  tnode, pkt->addr);
-            inv->thread = tid;
+                                  s.node, pkt->addr);
+            inv->thread = s.thread;
             send_(inv, now);
             ++stats_.notifies;
-        }
-
-        if (!lock.waitQueue.empty()) {
-            // Liveness safety net (see OsParams::wakeRetryDelay).
-            auto retry = makePacket(MsgType::FutexWake, node_, node_,
-                                    pkt->addr);
-            retries_.emplace_back(now + params_.wakeRetryDelay,
-                                  retry);
-        }
-        break;
-      }
-
-      case MsgType::FutexWait:
-        ++stats_.futexWaits;
-        drop_poller(pkt->thread);
-        if (lock.held && lock.holder == pkt->thread) {
-            // A grant won the re-check race; never sleep. Under the
-            // sleep watchdog this is also the lost-WakeNotify path: a
-            // re-registering sleeper that already owns the lock needs
-            // the wake re-sent or it parks forever.
-            if (params_.sleepWatchdogCycles > 0) {
-                ++stats_.rewakes;
-                auto wake = makePacket(MsgType::WakeNotify, node_,
-                                       pkt->src, pkt->addr);
-                wake->thread = pkt->thread;
-                wake->priority = pkt->priority;
-                send_(wake, now);
-                if (check_)
-                    check_->onWakeSent(pkt->addr, pkt->thread, now);
-                if (trace_)
-                    trace_->record(
-                        TraceCat::Lock, TraceEv::WakeupSent, now,
-                        node_, pkt->thread, pkt->addr, 0,
-                        static_cast<std::uint32_t>(
-                            lock.waitQueue.size()));
-            }
             break;
-        }
-        if (std::any_of(lock.waitQueue.begin(), lock.waitQueue.end(),
-                        [&](const auto &p) {
-                            return p.first == pkt->thread;
-                        })) {
-            // Duplicate registration (retransmitted FutexWait whose
-            // original already queued): absorb, a thread must never
-            // occupy two queue slots.
-            ++stats_.duplicateWaits;
-            break;
-        }
-        if (!lock.held) {
-            // Futex value re-check semantics: the lock was released
-            // between the budget expiry and the registration, so the
-            // waiter is granted immediately (it already context
-            // switched out, so it still pays the wakeup path).
-            ++stats_.immediateWakes;
-            lock.held = true;
-            lock.holder = pkt->thread;
-            noteGrant(lock, pkt->addr, pkt->thread, now);
+          }
+          case proto::MsgKind::WakeNotify: {
             auto wake = makePacket(MsgType::WakeNotify, node_,
-                                   pkt->src, pkt->addr);
-            wake->thread = pkt->thread;
-            wake->priority = pkt->priority;
-            send_(wake, now);
-            if (check_)
-                check_->onWakeSent(pkt->addr, pkt->thread, now);
-            if (trace_)
-                trace_->record(
-                    TraceCat::Lock, TraceEv::WakeupSent, now, node_,
-                    pkt->thread, pkt->addr, 0,
-                    static_cast<std::uint32_t>(
-                        lock.waitQueue.size()));
-        } else {
-            lock.waitQueue.emplace_back(pkt->thread, pkt->src);
-        }
-        break;
-
-      case MsgType::FutexWake:
-        // Queue-spinlock semantics: the woken head waiter *secures*
-        // the lock (Section 2.2). The wakeup request only succeeds
-        // when the lock is still free by the time it reaches the
-        // home node — a spinning thread whose LockTry arrived first
-        // has stolen it, and the sleeper stays parked until the next
-        // unlock (under OCOR this race is deliberately biased by the
-        // Wakeup-Request-Last rule).
-        if (!lock.held && !lock.waitQueue.empty()) {
-            auto [tid, tnode] = lock.waitQueue.front();
-            lock.waitQueue.pop_front();
-            ++stats_.wakes;
-            lock.held = true;
-            lock.holder = tid;
-            noteGrant(lock, pkt->addr, tid, now);
-            auto wake = makePacket(MsgType::WakeNotify, node_, tnode,
-                                   pkt->addr);
-            wake->thread = tid;
+                                   s.node, pkt->addr);
+            wake->thread = s.thread;
             wake->priority = pkt->priority; // wakeup class (lowest)
             send_(wake, now);
             if (check_)
-                check_->onWakeSent(pkt->addr, tid, now);
+                check_->onWakeSent(pkt->addr, s.thread, now);
             if (trace_)
                 trace_->record(
                     TraceCat::Lock, TraceEv::WakeupSent, now, node_,
-                    tid, pkt->addr, 0,
+                    s.thread, pkt->addr, 0,
                     static_cast<std::uint32_t>(
-                        lock.waitQueue.size()));
+                        lock.core.waitQueue.size()));
+            break;
+          }
+          default:
+            ocor_panic("LockManager %u: homeStep emitted %s", node_,
+                       proto::msgKindName(s.kind));
         }
-        break;
+    }
 
-      default:
-        ocor_panic("LockManager %u: unexpected message %s", node_,
-                   msgTypeName(pkt->type));
+    if (res.scheduleWakeRetry) {
+        // Liveness safety net (see OsParams::wakeRetryDelay).
+        auto retry = makePacket(MsgType::FutexWake, node_, node_,
+                                pkt->addr);
+        retries_.emplace_back(now + params_.wakeRetryDelay, retry);
     }
 }
 

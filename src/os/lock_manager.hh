@@ -22,6 +22,7 @@
 #include "common/types.hh"
 #include "noc/packet.hh"
 #include "os/params.hh"
+#include "os/protocol_step.hh"
 
 namespace ocor
 {
@@ -99,16 +100,14 @@ class LockManager
     std::size_t pollerCount(Addr lock_word) const;
 
   private:
+    /**
+     * Home-side state of one lock word: the pure protocol core
+     * shared with the model checker (proto::homeStep operates on
+     * it) plus the timing bookkeeping only the simulator needs.
+     */
     struct LockState
     {
-        bool held = false;
-        ThreadId holder = invalidThread;
-        /** Sleeping waiters: (thread, its node), FIFO. */
-        std::deque<std::pair<ThreadId, NodeId>> waitQueue;
-
-        /** Spinning threads polling a cached copy of the lock line:
-         * they get a LockFreeNotify invalidation on release. */
-        std::vector<std::pair<ThreadId, NodeId>> pollers;
+        proto::HomeLockState core;
 
         /** Cycle of the latest unconsumed release; the next grant
          * samples (grant - release) as the handover latency. */

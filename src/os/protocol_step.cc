@@ -1,0 +1,345 @@
+#include "os/protocol_step.hh"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ocor
+{
+namespace proto
+{
+
+const char *
+msgKindName(MsgKind k)
+{
+    switch (k) {
+      case MsgKind::LockTry:        return "LockTry";
+      case MsgKind::LockGrant:      return "LockGrant";
+      case MsgKind::LockFail:       return "LockFail";
+      case MsgKind::LockFreeNotify: return "LockFreeNotify";
+      case MsgKind::LockRelease:    return "LockRelease";
+      case MsgKind::FutexWait:      return "FutexWait";
+      case MsgKind::FutexWake:      return "FutexWake";
+      case MsgKind::WakeNotify:     return "WakeNotify";
+      default:                      return "?";
+    }
+}
+
+MsgKind
+msgKindFromName(const char *name)
+{
+    for (unsigned k = 0;
+         k < static_cast<unsigned>(MsgKind::NumKinds); ++k) {
+        MsgKind kind = static_cast<MsgKind>(k);
+        if (std::strcmp(msgKindName(kind), name) == 0)
+            return kind;
+    }
+    return MsgKind::NumKinds;
+}
+
+// --- client ---------------------------------------------------------
+
+ClientResult
+clientStep(ClientState &s, ClientEvent ev, const ClientInputs &in)
+{
+    ClientResult out;
+
+    switch (ev) {
+      case ClientEvent::Acquire:
+        s.active = true;
+        s.everSlept = false;
+        s.tryInFlight = true;
+        s.phase = ClientPhase::Spinning;
+        out.action = ClientAction::SendTry;
+        break;
+
+      case ClientEvent::MsgLockGrant:
+        if (s.active && in.sameLock) {
+            // A grant can land while the thread is preparing to
+            // sleep (the futex value re-check window); it is
+            // accepted in every waiting state.
+            s.active = false;
+            s.holding = true;
+            s.tryInFlight = false;
+            s.timer = ClientTimer::None;
+            s.phase = ClientPhase::Idle;
+            out.action = ClientAction::EnterCs;
+            break;
+        }
+        if (s.holding && in.sameLock) {
+            // Duplicate of the grant that already won: absorbing is
+            // the only safe move; releasing would break mutual
+            // exclusion.
+            out.action = ClientAction::AbsorbDuplicate;
+            break;
+        }
+        // Orphan grant: hand it straight back or the lock leaks.
+        out.action = ClientAction::ReturnOrphan;
+        break;
+
+      case ClientEvent::MsgLockFail:
+        if (!s.active || !in.sameLock) {
+            out.staleFail = true;
+            break;
+        }
+        s.tryInFlight = false;
+        if (s.phase != ClientPhase::Spinning)
+            break; // already heading to sleep
+        if (in.budgetExhausted) {
+            s.everSlept = true;
+            s.phase = ClientPhase::SleepPrep;
+            s.timer = ClientTimer::SleepPrep;
+            out.action = ClientAction::BeginSleepPrep;
+            break;
+        }
+        // Keep polling locally and revalidate remotely at the
+        // remote-try cadence (capped by the budget deadline).
+        s.timer = ClientTimer::Retry;
+        out.action = ClientAction::ArmRetryTimer;
+        break;
+
+      case ClientEvent::MsgLockFreeNotify:
+        // The home invalidated our cached lock line: the lock was
+        // released. Race a fresh atomic locking request immediately
+        // (Fig. 4a) instead of waiting out the remote-try timer.
+        if (s.active && s.phase == ClientPhase::Spinning &&
+            !s.tryInFlight) {
+            s.timer = ClientTimer::None;
+            s.tryInFlight = true;
+            out.action = ClientAction::SendTry;
+            out.countRetry = true;
+        }
+        break;
+
+      case ClientEvent::MsgWakeNotify:
+        // The home woke this thread *and* reserved the lock for it
+        // (queue-spinlock: the woken waiter secures the lock).
+        if (s.active && in.sameLock) {
+            if (s.phase == ClientPhase::Sleeping) {
+                s.phase = ClientPhase::Waking;
+                s.timer = ClientTimer::Wakeup;
+                out.action = ClientAction::StartWaking;
+            } else if (s.phase == ClientPhase::Waking) {
+                // Re-wake raced the original; the context switch in
+                // is already under way.
+                out.action = ClientAction::AbsorbDuplicate;
+            } else {
+                // Home reserved the lock while we are still on-core:
+                // enter directly, no wakeup cost to pay.
+                s.active = false;
+                s.holding = true;
+                s.tryInFlight = false;
+                s.timer = ClientTimer::None;
+                s.phase = ClientPhase::Idle;
+                out.action = ClientAction::EnterCs;
+            }
+            break;
+        }
+        if (s.holding && in.sameLock) {
+            out.action = ClientAction::AbsorbDuplicate;
+            break;
+        }
+        out.action = ClientAction::ReturnOrphan;
+        break;
+
+      case ClientEvent::TimerFire: {
+        ClientTimer t = s.timer;
+        s.timer = ClientTimer::None;
+        switch (t) {
+          case ClientTimer::Retry:
+            if (!s.active || s.phase != ClientPhase::Spinning ||
+                s.tryInFlight)
+                break;
+            if (in.budgetExhausted) {
+                s.everSlept = true;
+                s.phase = ClientPhase::SleepPrep;
+                s.timer = ClientTimer::SleepPrep;
+                out.action = ClientAction::BeginSleepPrep;
+                break;
+            }
+            s.tryInFlight = true;
+            out.action = ClientAction::SendTry;
+            out.countRetry = true;
+            break;
+
+          case ClientTimer::SleepPrep:
+            if (!s.active)
+                break; // grant slipped in during the re-check window
+            s.phase = ClientPhase::Sleeping;
+            out.action = ClientAction::RegisterWait;
+            break;
+
+          case ClientTimer::Wakeup:
+            if (s.active) {
+                s.active = false;
+                s.holding = true;
+                s.tryInFlight = false;
+                s.phase = ClientPhase::Idle;
+                out.action = ClientAction::EnterCs;
+            }
+            break;
+
+          default:
+            break;
+        }
+        break;
+      }
+
+      case ClientEvent::Release:
+        s.holding = false;
+        s.phase = ClientPhase::Idle;
+        out.action = ClientAction::SendRelease;
+        break;
+    }
+    return out;
+}
+
+// --- home -----------------------------------------------------------
+
+namespace
+{
+
+void
+dropPoller(HomeLockState &lock, ThreadId tid)
+{
+    std::erase_if(lock.pollers, [tid](const auto &p) {
+        return p.first == tid;
+    });
+}
+
+void
+dropWaiter(HomeLockState &lock, ThreadId tid)
+{
+    std::erase_if(lock.waitQueue, [tid](const auto &p) {
+        return p.first == tid;
+    });
+}
+
+} // namespace
+
+HomeResult
+homeStep(HomeLockState &lock, MsgKind kind, ThreadId tid, NodeId src,
+         bool rewakeEnabled)
+{
+    HomeResult out;
+
+    switch (kind) {
+      case MsgKind::LockTry:
+        if (lock.held && lock.holder == tid) {
+            // Retransmitted LockTry whose original already won:
+            // re-grant idempotently. Unreachable in fault-free runs.
+            out.outcome = HomeOutcome::ReGranted;
+            out.sends.push_back({MsgKind::LockGrant, tid, src});
+        } else if (!lock.held) {
+            lock.held = true;
+            lock.holder = tid;
+            dropPoller(lock, tid);
+            dropWaiter(lock, tid);
+            out.outcome = HomeOutcome::Granted;
+            out.grantDecision = true;
+            out.sends.push_back({MsgKind::LockGrant, tid, src});
+        } else {
+            // The loser keeps a cached (shared) copy of the lock
+            // line and polls it locally; remember to invalidate it
+            // on release (Figure 4).
+            bool known = std::any_of(
+                lock.pollers.begin(), lock.pollers.end(),
+                [&](const auto &p) { return p.first == tid; });
+            if (!known)
+                lock.pollers.emplace_back(tid, src);
+            out.outcome = HomeOutcome::Failed;
+            out.sends.push_back({MsgKind::LockFail, tid, src});
+        }
+        break;
+
+      case MsgKind::LockRelease:
+        if (!lock.held || lock.holder != tid) {
+            // Stray release: absorb — honoring it would free a lock
+            // someone else holds.
+            out.outcome = HomeOutcome::StrayRelease;
+            break;
+        }
+        lock.held = false;
+        lock.holder = invalidThread;
+        out.outcome = HomeOutcome::Released;
+        // Invalidate every polling sharer's cached copy: the
+        // spinning threads race fresh atomic requests back
+        // (Figure 4a, T4/T5).
+        for (const auto &[ptid, pnode] : lock.pollers)
+            out.sends.push_back(
+                {MsgKind::LockFreeNotify, ptid, pnode});
+        // Liveness safety net (see OsParams::wakeRetryDelay).
+        out.scheduleWakeRetry = !lock.waitQueue.empty();
+        break;
+
+      case MsgKind::FutexWait:
+        dropPoller(lock, tid);
+        if (lock.held && lock.holder == tid) {
+            // A grant won the re-check race; never sleep. Under the
+            // sleep watchdog this is also the lost-WakeNotify path:
+            // a re-registering sleeper that already owns the lock
+            // needs the wake re-sent or it parks forever.
+            if (rewakeEnabled) {
+                out.outcome = HomeOutcome::HolderRewake;
+                out.sends.push_back({MsgKind::WakeNotify, tid, src});
+            } else {
+                out.outcome = HomeOutcome::HolderWaitNoop;
+            }
+            break;
+        }
+        if (std::any_of(lock.waitQueue.begin(), lock.waitQueue.end(),
+                        [&](const auto &p) {
+                            return p.first == tid;
+                        })) {
+            // Duplicate registration: absorb, a thread must never
+            // occupy two queue slots.
+            out.outcome = HomeOutcome::DuplicateWait;
+            break;
+        }
+        if (!lock.held) {
+            // Futex value re-check semantics: the lock was released
+            // between the budget expiry and the registration, so
+            // the waiter is granted immediately (it already context
+            // switched out, so it still pays the wakeup path).
+            lock.held = true;
+            lock.holder = tid;
+            out.outcome = HomeOutcome::ImmediateWake;
+            out.grantDecision = true;
+            out.sends.push_back({MsgKind::WakeNotify, tid, src});
+        } else {
+            lock.waitQueue.emplace_back(tid, src);
+            out.outcome = HomeOutcome::Queued;
+        }
+        break;
+
+      case MsgKind::FutexWake:
+        // Queue-spinlock semantics: the woken head waiter *secures*
+        // the lock (Section 2.2). The wakeup request only succeeds
+        // when the lock is still free by the time it reaches the
+        // home node — a spinning thread whose LockTry arrived first
+        // has stolen it, and the sleeper stays parked until the
+        // next unlock (under OCOR this race is deliberately biased
+        // by the Wakeup-Request-Last rule).
+        if (!lock.held && !lock.waitQueue.empty()) {
+            auto [wtid, wnode] = lock.waitQueue.front();
+            lock.waitQueue.pop_front();
+            lock.held = true;
+            lock.holder = wtid;
+            out.outcome = HomeOutcome::Woken;
+            out.grantDecision = true;
+            out.sends.push_back({MsgKind::WakeNotify, wtid, wnode});
+        } else {
+            out.outcome = HomeOutcome::WakeNoop;
+        }
+        break;
+
+      default:
+        // Client-bound kinds never reach the home; the caller
+        // panics on them before stepping.
+        out.outcome = HomeOutcome::WakeNoop;
+        break;
+    }
+    return out;
+}
+
+} // namespace proto
+} // namespace ocor

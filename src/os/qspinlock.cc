@@ -36,15 +36,28 @@ QSpinlock::sleepDeadline() const
 void
 QSpinlock::beginSleepPrep(Cycle now)
 {
-    // Spin budget exhausted: fall into the sleeping phase.
-    everSlept_ = true;
+    // Spin budget exhausted: fall into the sleeping phase (the pure
+    // step already moved cs_ to SleepPrep and armed its timer).
     ++pcb_.counters.sleeps;
     pcb_.state = ThreadState::SleepPrep;
-    timer_ = Timer::SleepPrep;
     timerAt_ = now + os_.sleepPrepCycles;
     if (trace_)
         trace_->record(TraceCat::Lock, TraceEv::LockSleep, now,
                        pcb_.node, pcb_.tid, lock_);
+}
+
+void
+QSpinlock::registerWait(Cycle now)
+{
+    // sys_futex(FUTEX_WAIT): register in the home lock queue.
+    pcb_.state = ThreadState::Sleeping;
+    sleepingSince_ = now;
+    auto pkt = makePacket(MsgType::FutexWait, pcb_.node,
+                          amap_.homeOf(lock_), lock_);
+    pkt->thread = pcb_.tid;
+    pkt->priority = makePriority(ocor_, PriorityClass::Wakeup,
+                                 1, pcb_.prog);
+    send_(pkt, now);
 }
 
 unsigned
@@ -60,17 +73,87 @@ QSpinlock::currentRtr(Cycle now) const
 }
 
 void
+QSpinlock::applyAction(const proto::ClientResult &res, Addr addr,
+                       Cycle now)
+{
+    switch (res.action) {
+      case proto::ClientAction::None:
+        break;
+
+      case proto::ClientAction::SendTry:
+        if (res.countRetry)
+            ++pcb_.counters.retries;
+        issueTry(now);
+        break;
+
+      case proto::ClientAction::ArmRetryTimer:
+        // Revalidate remotely at the remote-try cadence (capped by
+        // the budget deadline).
+        timerAt_ = std::min(now + os_.remoteTryInterval,
+                            sleepDeadline());
+        break;
+
+      case proto::ClientAction::BeginSleepPrep:
+        beginSleepPrep(now);
+        break;
+
+      case proto::ClientAction::RegisterWait:
+        registerWait(now);
+        break;
+
+      case proto::ClientAction::EnterCs:
+        enterCs(now);
+        break;
+
+      case proto::ClientAction::StartWaking:
+        pcb_.state = ThreadState::Waking;
+        timerAt_ = now + os_.wakeupCycles;
+        break;
+
+      case proto::ClientAction::AbsorbDuplicate:
+        ++duplicatesAbsorbed_;
+        break;
+
+      case proto::ClientAction::ReturnOrphan:
+        ++duplicatesAbsorbed_;
+        returnOrphanGrant(addr, now);
+        break;
+
+      case proto::ClientAction::SendRelease: {
+        // Algorithm 2: atomic_release, PROG++, then FUTEX_WAKE with
+        // the lowest priority (Table 1 rule 4) after the syscall
+        // delay.
+        auto rel = makePacket(MsgType::LockRelease, pcb_.node,
+                              amap_.homeOf(lock_), lock_);
+        rel->thread = pcb_.tid;
+        rel->priority = makePriority(ocor_,
+                                     PriorityClass::LockRelease,
+                                     1, pcb_.prog);
+        send_(rel, now);
+
+        ++pcb_.prog;
+        pcb_.regProg = pcb_.prog;
+
+        pendingWakeLock_ = lock_;
+        pendingWakeAt_ = now + os_.futexWakeDelay;
+
+        pcb_.state = ThreadState::Running;
+        break;
+      }
+    }
+}
+
+void
 QSpinlock::acquire(Addr lock_word, Cycle now, AcquiredFn done)
 {
-    if (active_ || holding_)
+    if (cs_.active || cs_.holding)
         ocor_panic("QSpinlock t%u: acquire while busy", pcb_.tid);
-    active_ = true;
+    proto::ClientResult res =
+        proto::clientStep(cs_, proto::ClientEvent::Acquire, {});
     if (waiters_)
         ++*waiters_;
     lock_ = lock_word;
     spinStart_ = now;
-    everSlept_ = false;
-    tryInFlight_ = false;
     done_ = std::move(done);
     pcb_.state = ThreadState::Spinning;
     if (check_)
@@ -81,7 +164,7 @@ QSpinlock::acquire(Addr lock_word, Cycle now, AcquiredFn done)
         trace_->record(TraceCat::Lock, TraceEv::LockAcquireStart, now,
                        pcb_.node, pcb_.tid, lock_, 0,
                        currentRtr(now));
-    issueTry(now);
+    applyAction(res, lock_, now);
 }
 
 void
@@ -91,7 +174,7 @@ QSpinlock::issueTry(Cycle now)
     // the NI through core-local registers, then try the lock.
     pcb_.regRtr = currentRtr(now);
     pcb_.regProg = pcb_.prog;
-    tryInFlight_ = true;
+    cs_.tryInFlight = true;
     trySentAt_ = now;
     if (check_)
         check_->onLockTry(pcb_.tid, pcb_.regRtr, now);
@@ -112,15 +195,13 @@ QSpinlock::issueTry(Cycle now)
 void
 QSpinlock::enterCs(Cycle now)
 {
-    if (waiters_ && active_ && *waiters_ > 0)
+    // Only reachable from an active acquisition (the pure step has
+    // already cleared cs_.active and set cs_.holding).
+    if (waiters_ && *waiters_ > 0)
         --*waiters_;
-    active_ = false;
-    holding_ = true;
-    tryInFlight_ = false;
-    timer_ = Timer::None;
     pcb_.state = ThreadState::InCS;
     ++pcb_.counters.acquisitions;
-    if (everSlept_)
+    if (cs_.everSlept)
         ++pcb_.counters.sleepWins;
     else
         ++pcb_.counters.spinWins;
@@ -129,7 +210,7 @@ QSpinlock::enterCs(Cycle now)
     if (trace_)
         trace_->record(TraceCat::Lock, TraceEv::CsEnter, now,
                        pcb_.node, pcb_.tid, lock_, 0,
-                       everSlept_ ? 1 : 0);
+                       cs_.everSlept ? 1 : 0);
     if (done_) {
         auto fn = std::move(done_);
         done_ = nullptr;
@@ -144,106 +225,56 @@ QSpinlock::handle(const PacketPtr &pkt, Cycle now)
         ocor_panic("QSpinlock t%u: message for t%u", pcb_.tid,
                    pkt->thread);
 
+    proto::ClientInputs in;
+    in.sameLock = pkt->addr == lock_;
+
     switch (pkt->type) {
       case MsgType::LockGrant:
-        if (active_ && pkt->addr == lock_) {
-            // A grant can land while the thread is preparing to sleep
-            // (the futex value re-check window); it is accepted in
-            // every waiting state.
-            enterCs(now);
-            break;
-        }
-        if (holding_ && pkt->addr == lock_) {
-            // Duplicate of the grant that already won (a retransmit,
-            // or a watchdog re-try answered twice). The thread
-            // legitimately holds the lock — absorbing is the only
-            // safe move; releasing would break mutual exclusion.
-            ++duplicatesAbsorbed_;
-            break;
-        }
-        // Orphan grant: the home reserved a lock this thread no
-        // longer wants (stale retransmission from a finished
-        // acquisition). Hand it straight back or the lock leaks.
-        ++duplicatesAbsorbed_;
-        returnOrphanGrant(pkt->addr, now);
+        applyAction(proto::clientStep(
+                        cs_, proto::ClientEvent::MsgLockGrant, in),
+                    pkt->addr, now);
         break;
 
       case MsgType::LockFail: {
-        if (!active_ || pkt->addr != lock_) {
+        in.budgetExhausted = now >= sleepDeadline();
+        proto::ClientResult res = proto::clientStep(
+            cs_, proto::ClientEvent::MsgLockFail, in);
+        if (res.staleFail) {
             ocor_warn("QSpinlock t%u: stale LockFail", pcb_.tid);
             break;
         }
-        tryInFlight_ = false;
         if (trace_)
             trace_->record(TraceCat::Lock, TraceEv::LockFailRecv, now,
                            pcb_.node, pcb_.tid, lock_, pkt->id,
                            currentRtr(now));
-        if (pcb_.state != ThreadState::Spinning)
-            break; // already heading to sleep
-        if (now >= sleepDeadline()) {
-            beginSleepPrep(now);
-            break;
-        }
-        // Keep polling locally and revalidate remotely at the
-        // remote-try cadence (capped by the budget deadline).
-        timer_ = Timer::Retry;
-        timerAt_ = std::min(now + os_.remoteTryInterval,
-                            sleepDeadline());
+        applyAction(res, pkt->addr, now);
         break;
       }
 
       case MsgType::LockFreeNotify:
-        // The home invalidated our cached lock line: the lock was
-        // released. Race a fresh atomic locking request immediately
-        // (Fig. 4a) instead of waiting out the remote-try timer.
-        if (active_ && pcb_.state == ThreadState::Spinning &&
-            !tryInFlight_) {
-            timer_ = Timer::None;
-            ++pcb_.counters.retries;
-            issueTry(now);
-        }
+        applyAction(proto::clientStep(
+                        cs_, proto::ClientEvent::MsgLockFreeNotify,
+                        in),
+                    pkt->addr, now);
         break;
 
-      case MsgType::WakeNotify:
+      case MsgType::WakeNotify: {
         // Every WakeNotify arrival is one delivered wakeup: the sink
         // NI absorbs network duplicates, so each arrival pairs with a
         // distinct home-side send (watchdog rewakes re-arm the
         // checker's outstanding entry).
         if (check_)
             check_->onWakeConsumed(pkt->addr, pcb_.tid, now);
-        // The home node woke this thread *and* reserved the lock for
-        // it (queue-spinlock: the woken waiter secures the lock).
-        if (active_ && pkt->addr == lock_) {
-            if (trace_)
-                trace_->record(TraceCat::Lock, TraceEv::WakeupRecv,
-                               now, pcb_.node, pcb_.tid, lock_,
-                               pkt->id);
-            if (pcb_.state == ThreadState::Sleeping) {
-                pcb_.state = ThreadState::Waking;
-                timer_ = Timer::Wakeup;
-                timerAt_ = now + os_.wakeupCycles;
-            } else if (pcb_.state == ThreadState::Waking) {
-                // Re-wake raced the original; the context switch in
-                // is already under way.
-                ++duplicatesAbsorbed_;
-            } else {
-                // Home reserved the lock for us while we are still
-                // on-core (a retransmitted FutexWait registered after
-                // its duplicate was granted): enter directly, no
-                // wakeup cost to pay.
-                enterCs(now);
-            }
-            break;
-        }
-        if (holding_ && pkt->addr == lock_) {
-            ++duplicatesAbsorbed_; // wake already consumed; in the CS
-            break;
-        }
-        // Orphan wake: a lock this thread no longer wants is reserved
-        // for it at the home. Return it.
-        ++duplicatesAbsorbed_;
-        returnOrphanGrant(pkt->addr, now);
+        bool wasActive = cs_.active;
+        proto::ClientResult res = proto::clientStep(
+            cs_, proto::ClientEvent::MsgWakeNotify, in);
+        if (wasActive && in.sameLock && trace_)
+            trace_->record(TraceCat::Lock, TraceEv::WakeupRecv,
+                           now, pcb_.node, pcb_.tid, lock_,
+                           pkt->id);
+        applyAction(res, pkt->addr, now);
         break;
+      }
 
       default:
         ocor_panic("QSpinlock t%u: unexpected message %s", pcb_.tid,
@@ -268,8 +299,10 @@ void
 QSpinlock::tick(Cycle now)
 {
     // Fault-recovery watchdogs (inert at the default knob values).
-    if (os_.tryWatchdogCycles > 0 && active_ && tryInFlight_ &&
-        pcb_.state == ThreadState::Spinning &&
+    // These re-issue messages without changing protocol state, so
+    // they live outside the pure step (see protocol_step.hh).
+    if (os_.tryWatchdogCycles > 0 && cs_.active &&
+        cs_.tryInFlight && pcb_.state == ThreadState::Spinning &&
         now >= trySentAt_ + os_.tryWatchdogCycles) {
         // The LockTry or its answer was lost: re-issue. The home
         // re-grants idempotently if the original actually won.
@@ -277,7 +310,7 @@ QSpinlock::tick(Cycle now)
         ++pcb_.counters.retries;
         issueTry(now);
     }
-    if (os_.sleepWatchdogCycles > 0 && active_ &&
+    if (os_.sleepWatchdogCycles > 0 && cs_.active &&
         pcb_.state == ThreadState::Sleeping &&
         now >= sleepingSince_ + os_.sleepWatchdogCycles) {
         // Sleeping suspiciously long: the FutexWait registration or
@@ -304,76 +337,26 @@ QSpinlock::tick(Cycle now)
         send_(wake, now);
     }
 
-    if (timer_ == Timer::None || timerAt_ > now)
+    if (cs_.timer == proto::ClientTimer::None || timerAt_ > now)
         return;
-    Timer t = timer_;
-    timer_ = Timer::None;
-
-    switch (t) {
-      case Timer::Retry:
-        if (!active_ || pcb_.state != ThreadState::Spinning ||
-            tryInFlight_)
-            break;
-        if (now >= sleepDeadline()) {
-            beginSleepPrep(now);
-            break;
-        }
-        ++pcb_.counters.retries;
-        issueTry(now);
-        break;
-
-      case Timer::SleepPrep: {
-        if (!active_)
-            break; // grant slipped in during the re-check window
-        // sys_futex(FUTEX_WAIT): register in the home lock queue.
-        pcb_.state = ThreadState::Sleeping;
-        sleepingSince_ = now;
-        auto pkt = makePacket(MsgType::FutexWait, pcb_.node,
-                              amap_.homeOf(lock_), lock_);
-        pkt->thread = pcb_.tid;
-        pkt->priority = makePriority(ocor_, PriorityClass::Wakeup,
-                                     1, pcb_.prog);
-        send_(pkt, now);
-        break;
-      }
-
-      case Timer::Wakeup:
-        // Back on the core, already owning the lock: enter the CS.
-        if (active_)
-            enterCs(now);
-        break;
-
-      default:
-        break;
-    }
+    proto::ClientInputs in;
+    in.budgetExhausted = now >= sleepDeadline();
+    applyAction(proto::clientStep(
+                    cs_, proto::ClientEvent::TimerFire, in),
+                lock_, now);
 }
 
 void
 QSpinlock::release(Cycle now)
 {
-    if (!holding_)
+    if (!cs_.holding)
         ocor_panic("QSpinlock t%u: release without hold", pcb_.tid);
-    holding_ = false;
+    proto::ClientResult res =
+        proto::clientStep(cs_, proto::ClientEvent::Release, {});
     if (trace_)
         trace_->record(TraceCat::Lock, TraceEv::CsExit, now,
                        pcb_.node, pcb_.tid, lock_);
-
-    // Algorithm 2: atomic_release, PROG++, then FUTEX_WAKE with the
-    // lowest priority (Table 1 rule 4) after the syscall delay.
-    auto rel = makePacket(MsgType::LockRelease, pcb_.node,
-                          amap_.homeOf(lock_), lock_);
-    rel->thread = pcb_.tid;
-    rel->priority = makePriority(ocor_, PriorityClass::LockRelease,
-                                 1, pcb_.prog);
-    send_(rel, now);
-
-    ++pcb_.prog;
-    pcb_.regProg = pcb_.prog;
-
-    pendingWakeLock_ = lock_;
-    pendingWakeAt_ = now + os_.futexWakeDelay;
-
-    pcb_.state = ThreadState::Running;
+    applyAction(res, lock_, now);
 }
 
 } // namespace ocor

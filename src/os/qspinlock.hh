@@ -38,6 +38,7 @@
 #include "noc/packet.hh"
 #include "os/params.hh"
 #include "os/pcb.hh"
+#include "os/protocol_step.hh"
 
 namespace ocor
 {
@@ -67,11 +68,14 @@ class QSpinlock
     /** Advance timed transitions (budget, sleep prep, wakeup). */
     void tick(Cycle now);
 
-    bool waiting() const { return active_; }
-    bool holding() const { return holding_; }
+    bool waiting() const { return cs_.active; }
+    bool holding() const { return cs_.holding; }
     Addr currentLock() const { return lock_; }
-    bool everSleptThisWait() const { return everSlept_; }
-    bool tryInFlight() const { return tryInFlight_; }
+    bool everSleptThisWait() const { return cs_.everSlept; }
+    bool tryInFlight() const { return cs_.tryInFlight; }
+
+    /** The pure protocol core (model-checker-shared state). */
+    const proto::ClientState &protoState() const { return cs_; }
 
     /** Departure cycle of the last LockTry (neverCycle before the
      * first). The accounting layer splits transfer vs arbitration
@@ -89,15 +93,16 @@ class QSpinlock
     nextWake() const
     {
         Cycle w = neverCycle;
-        if (os_.tryWatchdogCycles > 0 && active_ && tryInFlight_ &&
+        if (os_.tryWatchdogCycles > 0 && cs_.active &&
+            cs_.tryInFlight &&
             pcb_.state == ThreadState::Spinning)
             w = std::min(w, trySentAt_ + os_.tryWatchdogCycles);
-        if (os_.sleepWatchdogCycles > 0 && active_ &&
+        if (os_.sleepWatchdogCycles > 0 && cs_.active &&
             pcb_.state == ThreadState::Sleeping &&
             sleepingSince_ != neverCycle)
             w = std::min(w, sleepingSince_ + os_.sleepWatchdogCycles);
         w = std::min(w, pendingWakeAt_);
-        if (timer_ != Timer::None)
+        if (cs_.timer != proto::ClientTimer::None)
             w = std::min(w, timerAt_);
         return w;
     }
@@ -138,23 +143,20 @@ class QSpinlock
      */
     void testForceHold(Addr lock_word)
     {
-        holding_ = true;
+        cs_.holding = true;
         lock_ = lock_word;
     }
 
   private:
-    enum class Timer : std::uint8_t
-    {
-        None,
-        Retry,     ///< next remote revalidation (or budget expiry)
-        SleepPrep, ///< context switch out completes
-        Wakeup     ///< context switch in completes
-    };
-
     void issueTry(Cycle now);
     void enterCs(Cycle now);
     void beginSleepPrep(Cycle now);
+    void registerWait(Cycle now);
     Cycle sleepDeadline() const;
+
+    /** Map a clientStep result onto packets, timers and counters. */
+    void applyAction(const proto::ClientResult &res, Addr addr,
+                     Cycle now);
 
     /** Return an unwanted grant/wake so the home frees the lock. */
     void returnOrphanGrant(Addr lock_word, Cycle now);
@@ -165,16 +167,16 @@ class QSpinlock
     const AddressMap &amap_;
     SendFn send_;
 
-    bool active_ = false;
-    bool holding_ = false;
+    /** Pure protocol core: every protocol decision is made by
+     * proto::clientStep on this struct (DESIGN.md §15); the fields
+     * below it are simulation-only timing/accounting. */
+    proto::ClientState cs_;
+
     Addr lock_ = 0;
     Cycle spinStart_ = 0;   ///< budget anchor
-    bool tryInFlight_ = false;
-    bool everSlept_ = false;
     AcquiredFn done_;
 
-    Timer timer_ = Timer::None;
-    Cycle timerAt_ = neverCycle;
+    Cycle timerAt_ = neverCycle; ///< due cycle of cs_.timer
 
     /** Deferred sys_futex(FUTEX_WAKE) after a release. */
     Cycle pendingWakeAt_ = neverCycle;

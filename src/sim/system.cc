@@ -172,6 +172,10 @@ System::registerStats(StatsRegistry &reg, const std::string &prefix)
         reg.addScalar(m + ".immediate_wakes", &ms.immediateWakes);
         reg.addScalar(m + ".wakes", &ms.wakes);
         reg.addScalar(m + ".notifies", &ms.notifies);
+        reg.addScalar(m + ".duplicate_tries", &ms.duplicateTries);
+        reg.addScalar(m + ".stray_releases", &ms.strayReleases);
+        reg.addScalar(m + ".rewakes", &ms.rewakes);
+        reg.addScalar(m + ".duplicate_waits", &ms.duplicateWaits);
         reg.addSample(m + ".handover_latency", &ms.handoverLatency);
         reg.addHistogram(m + ".handover_latency_hist",
                          &ms.handoverLatencyHist);

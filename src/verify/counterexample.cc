@@ -1,0 +1,252 @@
+#include "verify/counterexample.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace ocor
+{
+namespace verify
+{
+
+namespace
+{
+
+constexpr const char *kMagic = "ocor-verify-counterexample v1";
+
+std::string
+encodeRivals(const std::vector<Msg> &rivals)
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < rivals.size(); ++i) {
+        if (i)
+            os << ",";
+        const Msg &m = rivals[i];
+        os << proto::msgKindName(m.kind) << ":" << m.tid << ":"
+           << m.rtr << ":" << m.prog;
+    }
+    return os.str();
+}
+
+bool
+decodeRivals(const std::string &text, std::vector<Msg> &rivals)
+{
+    std::istringstream is(text);
+    std::string item;
+    while (std::getline(is, item, ',')) {
+        std::istringstream fields(item);
+        std::string kind, tid, rtr, prog;
+        if (!std::getline(fields, kind, ':') ||
+            !std::getline(fields, tid, ':') ||
+            !std::getline(fields, rtr, ':') ||
+            !std::getline(fields, prog, ':'))
+            return false;
+        Msg m;
+        m.kind = proto::msgKindFromName(kind.c_str());
+        if (m.kind == proto::MsgKind::NumKinds)
+            return false;
+        m.tid = static_cast<ThreadId>(std::stoul(tid));
+        m.rtr = static_cast<unsigned>(std::stoul(rtr));
+        m.prog = std::stoull(prog);
+        rivals.push_back(m);
+    }
+    return true;
+}
+
+/** Split "key=value" (returns false when '=' is missing). */
+bool
+splitKv(const std::string &tok, std::string &key, std::string &val)
+{
+    auto eq = tok.find('=');
+    if (eq == std::string::npos)
+        return false;
+    key = tok.substr(0, eq);
+    val = tok.substr(eq + 1);
+    return true;
+}
+
+} // namespace
+
+void
+writeCounterexample(std::ostream &os, const Counterexample &ce)
+{
+    os << kMagic << "\n";
+    os << "config threads=" << ce.cfg.threads
+       << " acqs=" << ce.cfg.acquisitions
+       << " budget=" << ce.cfg.spinBudget
+       << " strictarb=" << (ce.cfg.strictArb ? 1 : 0)
+       << " bug=" << bugName(ce.cfg.bug) << "\n";
+    os << "property " << propertyName(ce.violated) << "\n";
+    if (!ce.detail.empty())
+        os << "detail " << ce.detail << "\n";
+    for (const ScheduleStep &st : ce.schedule) {
+        os << "step " << stepKindName(st.kind);
+        if (st.kind == StepKind::Deliver || st.kind == StepKind::Drop)
+            os << " kind=" << proto::msgKindName(st.msg);
+        if (st.tid != invalidThread)
+            os << " t=" << st.tid;
+        if (st.budgetExhausted)
+            os << " budget=1";
+        if (st.rtr)
+            os << " rtr=" << st.rtr;
+        os << " prog=" << st.prog;
+        if (!st.rivals.empty())
+            os << " rivals=" << encodeRivals(st.rivals);
+        os << "\n";
+    }
+    os << "end\n";
+}
+
+bool
+readCounterexample(std::istream &is, Counterexample &ce,
+                   std::string &error)
+{
+    std::string line;
+    if (!std::getline(is, line) || line != kMagic) {
+        error = "missing or unknown magic line";
+        return false;
+    }
+
+    bool sawEnd = false;
+    unsigned lineNo = 1;
+    while (std::getline(is, line)) {
+        ++lineNo;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream toks(line);
+        std::string word;
+        toks >> word;
+
+        if (word == "end") {
+            sawEnd = true;
+            break;
+        }
+
+        if (word == "detail") {
+            std::getline(toks, ce.detail);
+            if (!ce.detail.empty() && ce.detail[0] == ' ')
+                ce.detail.erase(0, 1);
+            continue;
+        }
+
+        if (word == "property") {
+            std::string name;
+            toks >> name;
+            ce.violated = propertyFromName(name);
+            if (ce.violated == Property::None && name != "none") {
+                error = "line " + std::to_string(lineNo) +
+                    ": unknown property '" + name + "'";
+                return false;
+            }
+            continue;
+        }
+
+        if (word == "config") {
+            std::string tok;
+            while (toks >> tok) {
+                std::string key, val;
+                if (!splitKv(tok, key, val)) {
+                    error = "line " + std::to_string(lineNo) +
+                        ": bad config token '" + tok + "'";
+                    return false;
+                }
+                if (key == "threads") {
+                    ce.cfg.threads =
+                        static_cast<unsigned>(std::stoul(val));
+                } else if (key == "acqs") {
+                    ce.cfg.acquisitions =
+                        static_cast<unsigned>(std::stoul(val));
+                } else if (key == "budget") {
+                    ce.cfg.spinBudget =
+                        static_cast<unsigned>(std::stoul(val));
+                } else if (key == "strictarb") {
+                    ce.cfg.strictArb = val == "1";
+                } else if (key == "bug") {
+                    ce.cfg.bug = bugFromName(val);
+                    if (ce.cfg.bug == BugKind::NumBugs) {
+                        error = "line " + std::to_string(lineNo) +
+                            ": unknown bug '" + val + "'";
+                        return false;
+                    }
+                } else {
+                    error = "line " + std::to_string(lineNo) +
+                        ": unknown config key '" + key + "'";
+                    return false;
+                }
+            }
+            continue;
+        }
+
+        if (word != "step") {
+            error = "line " + std::to_string(lineNo) +
+                ": unknown directive '" + word + "'";
+            return false;
+        }
+
+        ScheduleStep st;
+        std::string kindWord;
+        toks >> kindWord;
+        bool known = false;
+        for (StepKind k :
+             {StepKind::Acquire, StepKind::Deliver, StepKind::Drop,
+              StepKind::Timer, StepKind::Release, StepKind::FireWake,
+              StepKind::FireWakeRetry}) {
+            if (kindWord == stepKindName(k)) {
+                st.kind = k;
+                known = true;
+                break;
+            }
+        }
+        if (!known) {
+            error = "line " + std::to_string(lineNo) +
+                ": unknown step kind '" + kindWord + "'";
+            return false;
+        }
+
+        std::string tok;
+        while (toks >> tok) {
+            std::string key, val;
+            if (!splitKv(tok, key, val)) {
+                error = "line " + std::to_string(lineNo) +
+                    ": bad step token '" + tok + "'";
+                return false;
+            }
+            if (key == "kind") {
+                st.msg = proto::msgKindFromName(val.c_str());
+                if (st.msg == proto::MsgKind::NumKinds) {
+                    error = "line " + std::to_string(lineNo) +
+                        ": unknown message kind '" + val + "'";
+                    return false;
+                }
+            } else if (key == "t") {
+                st.tid = static_cast<ThreadId>(std::stoul(val));
+            } else if (key == "budget") {
+                st.budgetExhausted = val == "1";
+            } else if (key == "rtr") {
+                st.rtr = static_cast<unsigned>(std::stoul(val));
+            } else if (key == "prog") {
+                st.prog = std::stoull(val);
+            } else if (key == "rivals") {
+                if (!decodeRivals(val, st.rivals)) {
+                    error = "line " + std::to_string(lineNo) +
+                        ": bad rivals list";
+                    return false;
+                }
+            } else {
+                error = "line " + std::to_string(lineNo) +
+                    ": unknown step key '" + key + "'";
+                return false;
+            }
+        }
+        ce.schedule.push_back(std::move(st));
+    }
+
+    if (!sawEnd) {
+        error = "truncated file: no 'end' line";
+        return false;
+    }
+    return true;
+}
+
+} // namespace verify
+} // namespace ocor

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Counterexample replay files (DESIGN.md §15).
+ *
+ * A violation found by the explorer serializes to a small
+ * line-oriented text file: the configuration that produced it, the
+ * violated property, and the minimal schedule, one step per line.
+ * The format is deliberately human-first — a counterexample is a
+ * debugging artifact — and stable, because the replay ctest and the
+ * CI artifact upload both depend on parsing it back.
+ *
+ *   ocor-verify-counterexample v1
+ *   config threads=2 acqs=1 budget=1 strictarb=0 bug=force-hold
+ *   property mutex
+ *   detail threads t0 t1 hold the lock simultaneously
+ *   step acquire t=1
+ *   step deliver kind=LockTry t=1 rtr=1 prog=0
+ *   step deliver kind=LockGrant t=1 rtr=1 prog=0
+ *   end
+ *
+ * Deliver steps at a strict arbitration point carry the competing
+ * rivals (`rivals=LockTry:0:2:0,...`) so the replay can reconstruct
+ * the candidate set the runtime ArbitrationChecker judges.
+ */
+
+#ifndef OCOR_VERIFY_COUNTEREXAMPLE_HH
+#define OCOR_VERIFY_COUNTEREXAMPLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "verify/explorer.hh"
+#include "verify/model.hh"
+
+namespace ocor
+{
+namespace verify
+{
+
+/** A parsed (or to-be-written) counterexample. */
+struct Counterexample
+{
+    VerifyConfig cfg;
+    Property violated = Property::None;
+    std::string detail;
+    std::vector<ScheduleStep> schedule;
+};
+
+/** Serialize to the replay format. */
+void writeCounterexample(std::ostream &os, const Counterexample &ce);
+
+/**
+ * Parse a replay file. Returns false (with @p error set) on any
+ * malformed line — a replay must never silently skip steps.
+ */
+bool readCounterexample(std::istream &is, Counterexample &ce,
+                        std::string &error);
+
+} // namespace verify
+} // namespace ocor
+
+#endif // OCOR_VERIFY_COUNTEREXAMPLE_HH

@@ -1,0 +1,475 @@
+#include "verify/replay.hh"
+
+#include <algorithm>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "check/check_config.hh"
+#include "check/checker_registry.hh"
+#include "common/trace.hh"
+#include "core/priority.hh"
+#include "mem/address_map.hh"
+#include "noc/packet.hh"
+#include "noc/routing.hh"
+#include "os/lock_manager.hh"
+#include "os/params.hh"
+#include "os/pcb.hh"
+#include "os/qspinlock.hh"
+
+namespace ocor
+{
+namespace verify
+{
+
+CheckId
+expectedChecker(Property p)
+{
+    switch (p) {
+      case Property::Mutex:       return CheckId::Mutex;
+      case Property::LostWakeup:  return CheckId::Wakeup;
+      case Property::RtrMonotone: return CheckId::Rtr;
+      case Property::Arbitration: return CheckId::Arbitration;
+      default:                    return CheckId::NumChecks;
+    }
+}
+
+bool
+replayThroughModel(const Counterexample &ce, std::string &error)
+{
+    WorldState s = initialState(ce.cfg);
+    Property hit = Property::None;
+    std::string detail;
+
+    StepOutcome init = checkState(ce.cfg, s, false);
+    hit = init.violated;
+
+    for (std::size_t i = 0;
+         i < ce.schedule.size() && hit == Property::None; ++i) {
+        ScheduleStep step = ce.schedule[i];
+
+        // The step must actually be enabled: a counterexample that
+        // the model itself cannot execute is corrupt.
+        std::vector<ScheduleStep> enabled =
+            enabledSteps(ce.cfg, s);
+        bool found = false;
+        for (const ScheduleStep &e : enabled) {
+            if (e.kind == step.kind && e.tid == step.tid &&
+                e.msg == step.msg &&
+                e.budgetExhausted == step.budgetExhausted &&
+                (step.kind != StepKind::Deliver ||
+                 (e.rtr == step.rtr && e.prog == step.prog))) {
+                step.rivals = e.rivals;
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            error = "step " + std::to_string(i) + " (" +
+                step.describe() + ") is not enabled in the model";
+            return false;
+        }
+
+        StepOutcome so = applyStep(ce.cfg, s, step);
+        if (so.violated == Property::None)
+            so = checkState(ce.cfg, s, false);
+        hit = so.violated;
+        detail = so.detail;
+    }
+
+    if (hit == Property::None) {
+        StepOutcome term =
+            checkState(ce.cfg, s, enabledSteps(ce.cfg, s).empty());
+        hit = term.violated;
+        detail = term.detail;
+    }
+
+    if (ce.violated == Property::None) {
+        if (hit == Property::None)
+            return true;
+        error = "clean schedule violated " +
+            std::string(propertyName(hit)) + ": " + detail;
+        return false;
+    }
+
+    if (hit != ce.violated) {
+        error = "schedule reproduces '" +
+            std::string(propertyName(hit)) + "', file claims '" +
+            propertyName(ce.violated) + "'";
+        return false;
+    }
+    return true;
+}
+
+namespace
+{
+
+MsgType
+msgTypeFor(proto::MsgKind k)
+{
+    switch (k) {
+      case proto::MsgKind::LockTry:        return MsgType::LockTry;
+      case proto::MsgKind::LockGrant:      return MsgType::LockGrant;
+      case proto::MsgKind::LockFail:       return MsgType::LockFail;
+      case proto::MsgKind::LockFreeNotify:
+          return MsgType::LockFreeNotify;
+      case proto::MsgKind::LockRelease:
+          return MsgType::LockRelease;
+      case proto::MsgKind::FutexWait:      return MsgType::FutexWait;
+      case proto::MsgKind::FutexWake:      return MsgType::FutexWake;
+      default:                             return MsgType::WakeNotify;
+    }
+}
+
+PriorityClass
+classFor(proto::MsgKind k)
+{
+    switch (k) {
+      case proto::MsgKind::LockTry:
+        return PriorityClass::LockTry;
+      case proto::MsgKind::LockRelease:
+        return PriorityClass::LockRelease;
+      default:
+        return PriorityClass::Wakeup;
+    }
+}
+
+/** The real-component replay world. */
+struct Harness
+{
+    const Counterexample &ce;
+    MeshShape mesh{2, 2};
+    AddressMap amap;
+    OcorConfig ocor;
+    OsParams os;
+    Addr lockAddr = 0;
+    NodeId homeNode = 0;
+
+    TraceConfig traceCfg;
+    std::unique_ptr<Tracer> tracer;
+    std::unique_ptr<CheckerRegistry> registry;
+
+    std::vector<std::unique_ptr<Pcb>> pcbs;
+    std::vector<std::unique_ptr<QSpinlock>> clients;
+    std::unique_ptr<LockManager> home;
+
+    /** Captured packets still in flight. */
+    std::vector<PacketPtr> pool;
+
+    std::vector<Cycle> acquireAt; ///< spin-budget anchor per thread
+    Cycle now = 0;
+
+    ReplayResult result;
+    std::ostream *log = nullptr;
+
+    explicit Harness(const Counterexample &c)
+        : ce(c), amap(mesh, 128)
+    {
+        ocor = c.cfg.ocor;
+        ocor.enabled = true;
+
+        // The home lives on node 3 so client nodes 0..2 stay
+        // distinct from it on the 2x2 mesh (a 4th client shares
+        // node 3 with the home, which is harmless: packets still
+        // flow through the captured pool).
+        homeNode = 3;
+        lockAddr = static_cast<Addr>(homeNode) * 128;
+
+        CheckConfig cc;
+        cc.checks = checkBit(CheckId::Mutex) |
+            checkBit(CheckId::Arbitration) | checkBit(CheckId::Rtr) |
+            checkBit(CheckId::Wakeup);
+        registry = std::make_unique<CheckerRegistry>(cc, ocor, 4);
+        registry->setViolationHandler(
+            [this](const CheckViolation &v) {
+                result.violations.push_back(v);
+            });
+
+        traceCfg.categories = traceCatBit(TraceCat::Lock);
+        traceCfg.capacity = 4096;
+        tracer = std::make_unique<Tracer>(traceCfg);
+        registry->attachTracer(tracer.get());
+
+        auto capture = [this](const PacketPtr &pkt, Cycle) {
+            pool.push_back(pkt);
+        };
+
+        for (ThreadId t = 0; t < ce.cfg.threads; ++t) {
+            auto pcb = std::make_unique<Pcb>();
+            pcb->tid = t;
+            pcb->node = static_cast<NodeId>(t % mesh.numNodes());
+            auto qs = std::make_unique<QSpinlock>(
+                *pcb, ocor, os, amap, capture);
+            qs->setTracer(tracer.get());
+            qs->setChecker(registry.get());
+            pcbs.push_back(std::move(pcb));
+            clients.push_back(std::move(qs));
+        }
+        acquireAt.assign(ce.cfg.threads, 0);
+
+        home = std::make_unique<LockManager>(homeNode, os, capture);
+        home->setTracer(tracer.get());
+        home->setChecker(registry.get());
+
+        if (ce.cfg.bug == BugKind::ForceHold)
+            clients[0]->testForceHold(lockAddr);
+    }
+
+    Cycle
+    sleepDeadline(ThreadId t) const
+    {
+        return acquireAt[t] +
+            static_cast<Cycle>(ocor.maxSpinCount) * os.retryInterval;
+    }
+
+    void
+    note(const std::string &what)
+    {
+        if (log)
+            *log << "  [cycle " << now << "] " << what << "\n";
+    }
+
+    /** Take one captured packet matching the step, or null. */
+    PacketPtr
+    takeFromPool(proto::MsgKind kind, ThreadId tid)
+    {
+        MsgType mt = msgTypeFor(kind);
+        for (auto it = pool.begin(); it != pool.end(); ++it) {
+            if ((*it)->type != mt)
+                continue;
+            // The home's wake-retry FutexWake carries the home's
+            // own identity; the model labels it invalidThread.
+            if (tid != invalidThread && (*it)->thread != tid)
+                continue;
+            PacketPtr p = *it;
+            pool.erase(it);
+            return p;
+        }
+        return nullptr;
+    }
+
+    /** End-of-cycle walk feeding the MutexChecker a HolderView. */
+    void
+    holderWalk()
+    {
+        std::vector<HolderView> view(clients.size());
+        for (ThreadId t = 0; t < clients.size(); ++t)
+            view[t] = {clients[t]->holding(),
+                       pcbs[t]->state == ThreadState::InCS,
+                       clients[t]->currentLock()};
+        registry->onHolderWalk(view, now);
+    }
+
+    /** Hook-level arbitration event for a rival-carrying deliver. */
+    void
+    arbEvent(const ScheduleStep &st)
+    {
+        std::vector<PacketPtr> keepAlive;
+        std::vector<const Packet *> cands;
+        auto build = [&](proto::MsgKind k, ThreadId tid, unsigned rtr,
+                         std::uint64_t prog) {
+            auto p = makePacket(msgTypeFor(k),
+                                static_cast<NodeId>(
+                                    tid == invalidThread
+                                        ? homeNode
+                                        : tid % mesh.numNodes()),
+                                homeNode, lockAddr);
+            p->thread = tid;
+            p->priority =
+                makePriority(ocor, classFor(k), rtr, prog);
+            keepAlive.push_back(p);
+            cands.push_back(p.get());
+        };
+        build(st.msg, st.tid, st.rtr, st.prog);
+        for (const Msg &rival : st.rivals)
+            build(rival.kind, rival.tid, rival.rtr, rival.prog);
+        registry->onArbGrant(homeNode, "model", cands, 0, now);
+    }
+
+    bool runStep(const ScheduleStep &st, std::size_t index);
+    void run();
+};
+
+bool
+Harness::runStep(const ScheduleStep &st, std::size_t index)
+{
+    auto fail = [&](const std::string &why) {
+        result.error = "step " + std::to_string(index) + " (" +
+            st.describe() + "): " + why;
+        return false;
+    };
+
+    ++now;
+    switch (st.kind) {
+      case StepKind::Acquire:
+        if (st.tid >= clients.size())
+            return fail("no such thread");
+        acquireAt[st.tid] = now;
+        clients[st.tid]->acquire(lockAddr, now, nullptr);
+        note("t" + std::to_string(st.tid) + " acquires");
+        break;
+
+      case StepKind::Release:
+        if (st.tid >= clients.size())
+            return fail("no such thread");
+        if (!clients[st.tid]->holding())
+            return fail("thread does not hold the lock");
+        clients[st.tid]->release(now);
+        note("t" + std::to_string(st.tid) + " releases");
+        break;
+
+      case StepKind::Timer: {
+        if (st.tid >= clients.size())
+            return fail("no such thread");
+        QSpinlock &qs = *clients[st.tid];
+        if (st.budgetExhausted)
+            now = std::max(now, sleepDeadline(st.tid) + 1);
+        Cycle due = qs.nextWake();
+        if (due == neverCycle)
+            return fail("no timer armed");
+        now = std::max(now, due);
+        qs.tick(now);
+        note("t" + std::to_string(st.tid) + " timer fires");
+        break;
+      }
+
+      case StepKind::FireWake: {
+        if (st.tid >= clients.size())
+            return fail("no such thread");
+        QSpinlock &qs = *clients[st.tid];
+        Cycle due = qs.nextWake();
+        if (due == neverCycle)
+            return fail("no deferred FUTEX_WAKE armed");
+        now = std::max(now, due);
+        qs.tick(now);
+        note("t" + std::to_string(st.tid) + " fires FUTEX_WAKE");
+        break;
+      }
+
+      case StepKind::FireWakeRetry: {
+        Cycle due = home->nextWake();
+        if (due == neverCycle)
+            return fail("home has no wake-retry armed");
+        now = std::max(now, due);
+        home->tick(now);
+        note("home wake-retry fires");
+        break;
+      }
+
+      case StepKind::Drop: {
+        PacketPtr p = takeFromPool(st.msg, st.tid);
+        if (!p)
+            return fail("message not in flight");
+        note(std::string("dropped ") + msgTypeName(p->type));
+        break;
+      }
+
+      case StepKind::Deliver: {
+        if (!st.rivals.empty())
+            arbEvent(st);
+        if (st.budgetExhausted && st.tid < clients.size())
+            now = std::max(now, sleepDeadline(st.tid) + 1);
+        PacketPtr p = takeFromPool(st.msg, st.tid);
+        if (!p)
+            return fail("message not in flight");
+        if (homeBound(st.msg)) {
+            home->handle(p, now);
+            now += os.homeLatency;
+            home->tick(now);
+        } else {
+            if (st.tid >= clients.size())
+                return fail("no such thread");
+            clients[st.tid]->handle(p, now);
+        }
+        note(std::string("delivered ") + msgTypeName(p->type));
+        break;
+      }
+    }
+
+    holderWalk();
+    return true;
+}
+
+void
+Harness::run()
+{
+    holderWalk(); // the seeded initial state may already violate
+
+    for (std::size_t i = 0; i < ce.schedule.size(); ++i)
+        if (!runStep(ce.schedule[i], i)) {
+            std::ostringstream diag;
+            registry->dumpDiagnostics(diag);
+            result.diagnostics = diag.str();
+            return;
+        }
+
+    registry->finalize(now);
+
+    std::ostringstream diag;
+    registry->dumpDiagnostics(diag);
+    result.diagnostics = diag.str();
+    result.ok = true;
+}
+
+/** RTR stamps replay at hook level: correct hardware cannot emit a
+ * rising RTR, so the schedule's recorded stamps go straight to the
+ * runtime RtrChecker. */
+ReplayResult
+replayRtrStamps(const Counterexample &ce, std::ostream *log)
+{
+    ReplayResult result;
+
+    CheckConfig cc;
+    cc.checks = checkBit(CheckId::Rtr);
+    OcorConfig ocor = ce.cfg.ocor;
+    ocor.enabled = true;
+    CheckerRegistry registry(cc, ocor, 4);
+    registry.setViolationHandler([&](const CheckViolation &v) {
+        result.violations.push_back(v);
+    });
+
+    Cycle now = 0;
+    for (const ScheduleStep &st : ce.schedule) {
+        ++now;
+        if (st.kind == StepKind::Acquire)
+            registry.onAcquireStart(st.tid, now);
+        if (st.rtr > 0 &&
+            (st.kind == StepKind::Acquire ||
+             st.kind == StepKind::Timer)) {
+            registry.onLockTry(st.tid, st.rtr, now);
+            if (log)
+                *log << "  [cycle " << now << "] t" << st.tid
+                     << " stamps rtr=" << st.rtr << "\n";
+        }
+    }
+
+    std::ostringstream diag;
+    registry.dumpDiagnostics(diag);
+    result.diagnostics = diag.str();
+    result.ok = true;
+    return result;
+}
+
+} // namespace
+
+ReplayResult
+replay(const Counterexample &ce, std::ostream *log)
+{
+    if (ce.cfg.threads == 0 || ce.cfg.threads > 8) {
+        ReplayResult r;
+        r.error = "implausible thread count";
+        return r;
+    }
+
+    if (ce.cfg.bug == BugKind::RtrRaise)
+        return replayRtrStamps(ce, log);
+
+    Harness h(ce);
+    h.log = log;
+    h.run();
+    return h.result;
+}
+
+} // namespace verify
+} // namespace ocor

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Counterexample replay against the real implementation
+ * (DESIGN.md §15).
+ *
+ * A schedule found by the model checker is only trusted once the
+ * *actual* components reproduce it: the replay harness instantiates
+ * real QSpinlock clients and a real LockManager home, arms the full
+ * runtime checker registry plus the lock-event trace ring, and
+ * re-executes the schedule step by step — delivering each captured
+ * packet in exactly the scheduled order and advancing a concrete
+ * cycle clock far enough to realize each abstract timing choice
+ * (budget expiry becomes a jump past the real sleep deadline).
+ *
+ * A seeded-bug counterexample must make the *matching* runtime
+ * checker fire (expectedChecker()): force-hold -> Mutex, lost-wake
+ * -> Wakeup, arb-invert -> Arbitration, rtr-raise -> Rtr. The two
+ * header-level bugs replay at checker-hook granularity (the raised
+ * RTR stamps / the inverted grant decision cannot be produced by
+ * correct hardware, so the harness feeds the schedule's recorded
+ * stamps and candidate sets straight to the hooks); the protocol
+ * bugs replay through the real client/home state machines.
+ *
+ * Clean schedules must replay with zero violations — the harness
+ * doubles as a differential test between model and implementation.
+ */
+
+#ifndef OCOR_VERIFY_REPLAY_HH
+#define OCOR_VERIFY_REPLAY_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "check/checkers.hh"
+#include "verify/counterexample.hh"
+
+namespace ocor
+{
+namespace verify
+{
+
+/** Outcome of re-executing a counterexample. */
+struct ReplayResult
+{
+    /** Every step executed (false: `error` says where it stuck). */
+    bool ok = false;
+    std::string error;
+
+    /** Violations the runtime checkers reported during replay. */
+    std::vector<CheckViolation> violations;
+
+    /** Trace-ring tail + checker diagnostics at end of replay. */
+    std::string diagnostics;
+
+    bool
+    triggered(CheckId id) const
+    {
+        for (const CheckViolation &v : violations)
+            if (v.id == id)
+                return true;
+        return false;
+    }
+};
+
+/** Runtime checker a violated model property must trip during
+ * replay (NumChecks: the property has no runtime counterpart). */
+CheckId expectedChecker(Property p);
+
+/** Re-execute @p ce against real components; @p log gets a
+ * step-by-step narration when non-null. */
+ReplayResult replay(const Counterexample &ce,
+                    std::ostream *log = nullptr);
+
+/**
+ * Re-apply @p ce.schedule through the abstract model and confirm it
+ * reproduces @p ce.violated. Validates parsed files before the
+ * heavier real-component replay.
+ */
+bool replayThroughModel(const Counterexample &ce, std::string &error);
+
+} // namespace verify
+} // namespace ocor
+
+#endif // OCOR_VERIFY_REPLAY_HH

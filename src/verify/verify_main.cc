@@ -1,0 +1,360 @@
+/**
+ * @file
+ * ocor_verify: bounded model checking of the lock/wakeup protocol
+ * (DESIGN.md §15).
+ *
+ *   ocor_verify explore [--threads N] [--acqs N] [--budget N]
+ *                       [--strict-arb] [--bug NAME]
+ *                       [--max-states N] [--out FILE]
+ *   ocor_verify replay FILE [--verbose]
+ *   ocor_verify suite [--out-dir DIR] [--smoke-states N]
+ *
+ * Exit codes: 0 = clean / replay reproduced, 1 = usage or internal
+ * error, 3 = violation found (explore/suite) or replay failed to
+ * reproduce the expected runtime checker.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "verify/counterexample.hh"
+#include "verify/explorer.hh"
+#include "verify/model.hh"
+#include "verify/replay.hh"
+
+namespace
+{
+
+using namespace ocor;
+using namespace ocor::verify;
+
+int
+usage()
+{
+    std::cerr <<
+        "usage: ocor_verify explore [--threads N] [--acqs N]\n"
+        "                           [--budget N] [--strict-arb]\n"
+        "                           [--bug NAME] [--max-states N]\n"
+        "                           [--out FILE]\n"
+        "       ocor_verify replay FILE [--verbose]\n"
+        "       ocor_verify suite [--out-dir DIR]"
+        " [--smoke-states N]\n"
+        "\n"
+        "bugs: none force-hold arb-invert lost-wake rtr-raise\n";
+    return 1;
+}
+
+bool
+parseUnsigned(const char *text, unsigned &out)
+{
+    char *end = nullptr;
+    unsigned long v = std::strtoul(text, &end, 10);
+    if (!end || *end != '\0')
+        return false;
+    out = static_cast<unsigned>(v);
+    return true;
+}
+
+void
+printStats(const VerifyConfig &cfg, const ExploreResult &res)
+{
+    std::printf("%-44s %9llu states %10llu transitions depth %3u%s\n",
+                cfg.describe().c_str(),
+                static_cast<unsigned long long>(res.stats.states),
+                static_cast<unsigned long long>(res.stats.transitions),
+                res.stats.maxDepth, res.capped ? " (capped)" : "");
+}
+
+int
+cmdExplore(const std::vector<std::string> &args)
+{
+    VerifyConfig cfg;
+    std::uint64_t maxStates = 0;
+    std::string outFile;
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < args.size() ? args[++i].c_str() : nullptr;
+        };
+        unsigned v = 0;
+        if (a == "--threads" && next() &&
+            parseUnsigned(args[i].c_str(), v)) {
+            cfg.threads = v;
+        } else if (a == "--acqs" &&
+                   next() && parseUnsigned(args[i].c_str(), v)) {
+            cfg.acquisitions = v;
+        } else if (a == "--budget" &&
+                   next() && parseUnsigned(args[i].c_str(), v)) {
+            cfg.spinBudget = v;
+        } else if (a == "--max-states" &&
+                   next() && parseUnsigned(args[i].c_str(), v)) {
+            maxStates = v;
+        } else if (a == "--strict-arb") {
+            cfg.strictArb = true;
+        } else if (a == "--bug") {
+            const char *name = next();
+            if (!name)
+                return usage();
+            cfg.bug = bugFromName(name);
+            if (cfg.bug == BugKind::NumBugs) {
+                std::cerr << "unknown bug '" << name << "'\n";
+                return 1;
+            }
+        } else if (a == "--out") {
+            const char *f = next();
+            if (!f)
+                return usage();
+            outFile = f;
+        } else {
+            return usage();
+        }
+    }
+
+    if (cfg.threads < 2 || cfg.threads > 6 ||
+        cfg.acquisitions == 0 || cfg.spinBudget == 0) {
+        std::cerr << "explore: need 2..6 threads and non-zero "
+                     "acqs/budget\n";
+        return 1;
+    }
+
+    ExploreResult res = explore(cfg, maxStates);
+    printStats(cfg, res);
+
+    if (res.clean()) {
+        std::printf("no violations\n");
+        return 0;
+    }
+
+    std::printf("VIOLATION %s: %s\n", propertyName(res.violated),
+                res.detail.c_str());
+    Counterexample ce;
+    ce.cfg = cfg;
+    ce.violated = res.violated;
+    ce.detail = res.detail;
+    ce.schedule = res.schedule;
+    std::printf("counterexample (%zu steps):\n", ce.schedule.size());
+    for (const ScheduleStep &st : ce.schedule)
+        std::printf("  %s\n", st.describe().c_str());
+    if (!outFile.empty()) {
+        std::ofstream out(outFile);
+        if (!out) {
+            std::cerr << "cannot write " << outFile << "\n";
+            return 1;
+        }
+        writeCounterexample(out, ce);
+        std::printf("written to %s\n", outFile.c_str());
+    }
+    return 3;
+}
+
+int
+cmdReplay(const std::vector<std::string> &args)
+{
+    std::string file;
+    bool verbose = false;
+    for (const std::string &a : args) {
+        if (a == "--verbose" || a == "-v")
+            verbose = true;
+        else if (!a.empty() && a[0] == '-')
+            return usage();
+        else if (file.empty())
+            file = a;
+        else
+            return usage();
+    }
+    if (file.empty())
+        return usage();
+
+    std::ifstream in(file);
+    if (!in) {
+        std::cerr << "cannot open " << file << "\n";
+        return 1;
+    }
+    Counterexample ce;
+    std::string error;
+    if (!readCounterexample(in, ce, error)) {
+        std::cerr << file << ": " << error << "\n";
+        return 1;
+    }
+
+    std::printf("replaying %s (%zu steps, property %s)\n",
+                ce.cfg.describe().c_str(), ce.schedule.size(),
+                propertyName(ce.violated));
+
+    if (!replayThroughModel(ce, error)) {
+        std::cerr << "model replay diverged: " << error << "\n";
+        return 3;
+    }
+    std::printf("model replay: schedule reproduces %s\n",
+                propertyName(ce.violated));
+
+    ReplayResult res = replay(ce, verbose ? &std::cout : nullptr);
+    if (!res.ok) {
+        std::cerr << "component replay stuck: " << res.error << "\n";
+        if (!res.diagnostics.empty())
+            std::cerr << res.diagnostics;
+        return 3;
+    }
+
+    for (const CheckViolation &v : res.violations)
+        std::printf("  checker %s @%llu: %s\n", checkName(v.id),
+                    static_cast<unsigned long long>(v.cycle),
+                    v.message.c_str());
+
+    if (ce.violated == Property::None) {
+        if (res.violations.empty()) {
+            std::printf("clean schedule replayed with zero "
+                        "violations\n");
+            return 0;
+        }
+        std::cerr << "clean schedule tripped " <<
+            res.violations.size() << " runtime violation(s)\n";
+        std::cerr << res.diagnostics;
+        return 3;
+    }
+
+    CheckId want = expectedChecker(ce.violated);
+    if (want == CheckId::NumChecks) {
+        std::printf("property %s has no runtime checker; model "
+                    "replay suffices\n", propertyName(ce.violated));
+        return 0;
+    }
+    if (res.triggered(want)) {
+        std::printf("runtime checker %s reproduced the violation\n",
+                    checkName(want));
+        return 0;
+    }
+    std::cerr << "expected runtime checker " << checkName(want)
+              << " did not fire\n";
+    std::cerr << res.diagnostics;
+    return 3;
+}
+
+int
+cmdSuite(const std::vector<std::string> &args)
+{
+    std::string outDir;
+    unsigned smokeStates = 400000;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--out-dir" && i + 1 < args.size()) {
+            outDir = args[++i];
+        } else if (args[i] == "--smoke-states" && i + 1 < args.size()) {
+            if (!parseUnsigned(args[i + 1].c_str(), smokeStates))
+                return usage();
+            ++i;
+        } else {
+            return usage();
+        }
+    }
+
+    struct Entry
+    {
+        VerifyConfig cfg;
+        std::uint64_t maxStates = 0;
+    };
+    std::vector<Entry> entries;
+    // Exhaustive tier: every 2-thread config up to 2 acquisitions
+    // and every 3-thread single-acquisition config (the largest is
+    // ~0.5M canonical states — seconds, not minutes).
+    for (unsigned threads : {2u, 3u})
+        for (unsigned acqs : {1u, 2u}) {
+            if (threads == 3 && acqs == 2)
+                continue; // >8M states even under symmetry: smoke
+            for (unsigned budget : {1u, 2u})
+                for (bool strict : {false, true}) {
+                    VerifyConfig cfg;
+                    cfg.threads = threads;
+                    cfg.acquisitions = acqs;
+                    cfg.spinBudget = budget;
+                    cfg.strictArb = strict;
+                    entries.push_back({cfg, 0});
+                }
+        }
+    // Bounded smokes: the two configs whose full space outgrows CI
+    // (re-acquisition races at 3 threads; 4-way contention). A
+    // capped frontier still proves every state within the explored
+    // radius clean.
+    {
+        VerifyConfig cfg;
+        cfg.threads = 3;
+        cfg.acquisitions = 2;
+        cfg.spinBudget = 1;
+        cfg.strictArb = true;
+        entries.push_back({cfg, smokeStates});
+    }
+    {
+        VerifyConfig cfg;
+        cfg.threads = 4;
+        cfg.acquisitions = 1;
+        cfg.spinBudget = 1;
+        cfg.strictArb = true;
+        entries.push_back({cfg, smokeStates});
+    }
+
+    std::uint64_t totalStates = 0, totalTransitions = 0;
+    int rc = 0;
+    for (const Entry &e : entries) {
+        ExploreResult res = explore(e.cfg, e.maxStates);
+        printStats(e.cfg, res);
+        totalStates += res.stats.states;
+        totalTransitions += res.stats.transitions;
+        if (res.clean())
+            continue;
+        rc = 3;
+        std::printf("VIOLATION %s: %s\n", propertyName(res.violated),
+                    res.detail.c_str());
+        if (!outDir.empty()) {
+            Counterexample ce;
+            ce.cfg = e.cfg;
+            ce.violated = res.violated;
+            ce.detail = res.detail;
+            ce.schedule = res.schedule;
+            std::ostringstream name;
+            name << outDir << "/ce-" << propertyName(res.violated)
+                 << "-t" << e.cfg.threads << "-a"
+                 << e.cfg.acquisitions << "-b" << e.cfg.spinBudget
+                 << (e.cfg.strictArb ? "-strict" : "") << ".txt";
+            std::ofstream out(name.str());
+            if (out) {
+                writeCounterexample(out, ce);
+                std::printf("counterexample written to %s\n",
+                            name.str().c_str());
+            } else {
+                std::cerr << "cannot write " << name.str() << "\n";
+            }
+        }
+    }
+
+    std::printf("suite total: %llu states, %llu transitions over "
+                "%zu configs\n",
+                static_cast<unsigned long long>(totalStates),
+                static_cast<unsigned long long>(totalTransitions),
+                entries.size());
+    if (rc == 0)
+        std::printf("all configs clean\n");
+    return rc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::vector<std::string> args(argv + 2, argv + argc);
+    std::string cmd = argv[1];
+    if (cmd == "explore")
+        return cmdExplore(args);
+    if (cmd == "replay")
+        return cmdReplay(args);
+    if (cmd == "suite")
+        return cmdSuite(args);
+    return usage();
+}

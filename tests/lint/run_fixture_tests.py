@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Golden-diagnostic suite for scripts/simlint.py.
+
+Usage: run_fixture_tests.py SIMLINT_PY
+
+Each fixtures/<rule>.cc.in holds deliberate violations (plus clean
+and allow-suppressed decoys) and a sibling <rule>.expected listing
+the exact findings as `<line> <rule>` pairs. The runner lints every
+fixture in isolation and demands an *exact* match -- a missing
+finding is a false negative, an extra one a false positive, and
+both fail the test. Fixtures use the .cc.in extension so directory
+walks (check-lint over tests/) never lint them as real sources.
+
+Also covered: the CLI contract -- exit 0 on the clean fixture,
+exit 1 with findings, exit 2 on a nonexistent path and on a
+directory containing no C++ sources, and --list-rules naming every
+rule the fixtures exercise.
+"""
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+FINDING_RE = re.compile(r"^(.*):(\d+): \[([a-z-]+)\]")
+
+
+def run_simlint(simlint, args):
+    proc = subprocess.run(
+        [sys.executable, simlint, *args],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+def parse_findings(stdout):
+    found = []
+    for line in stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            found.append((int(m.group(2)), m.group(3)))
+    return sorted(found)
+
+
+def parse_expected(path):
+    expected = []
+    with open(path, encoding="utf-8") as f:
+        for raw in f:
+            raw = raw.strip()
+            if not raw or raw.startswith("#"):
+                continue
+            line, rule = raw.split()
+            expected.append((int(line), rule))
+    return sorted(expected)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    simlint = os.path.abspath(sys.argv[1])
+    fixdir = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "fixtures")
+    failures = []
+    rules_seen = set()
+
+    fixtures = sorted(f for f in os.listdir(fixdir)
+                      if f.endswith(".cc.in"))
+    if not fixtures:
+        print("FAIL: no fixtures found", file=sys.stderr)
+        return 1
+
+    for fix in fixtures:
+        stem = fix[:-len(".cc.in")]
+        fixture = os.path.join(fixdir, fix)
+        expected = parse_expected(
+            os.path.join(fixdir, stem + ".expected"))
+        rules_seen |= {r for _, r in expected}
+
+        rc, out, err = run_simlint(simlint, [fixture])
+        got = parse_findings(out)
+        want_rc = 1 if expected else 0
+        if rc != want_rc:
+            failures.append(
+                f"{fix}: exit {rc}, expected {want_rc}\n{out}{err}")
+        if got != expected:
+            missing = [x for x in expected if x not in got]
+            extra = [x for x in got if x not in expected]
+            failures.append(
+                f"{fix}: diagnostics diverge\n"
+                f"  missing (false negatives): {missing}\n"
+                f"  extra (false positives):   {extra}")
+        print(f"  {stem}: {len(expected)} expected finding(s) "
+              f"{'OK' if got == expected and rc == want_rc else 'FAIL'}")
+
+    # CLI contract: bogus and zero-matching paths are hard errors,
+    # not silently-green runs.
+    rc, _, err = run_simlint(simlint, ["no/such/path"])
+    if rc != 2:
+        failures.append(f"nonexistent path: exit {rc}, expected 2")
+    with tempfile.TemporaryDirectory() as empty:
+        rc, _, err = run_simlint(simlint, [empty])
+        if rc != 2:
+            failures.append(
+                f"dir without C++ sources: exit {rc}, expected 2")
+
+    rc, out, _ = run_simlint(simlint, ["--list-rules"])
+    if rc != 0:
+        failures.append(f"--list-rules: exit {rc}")
+    listed = {line.split()[0] for line in out.splitlines() if line}
+    unlisted = rules_seen - listed
+    if unlisted:
+        failures.append(f"rules exercised but not listed: {unlisted}")
+
+    if failures:
+        print("FAIL:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"simlint fixtures: {len(fixtures)} fixtures, "
+          f"{len(rules_seen)} rules, all diagnostics exact")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

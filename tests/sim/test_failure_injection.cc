@@ -280,15 +280,26 @@ TEST(FailureInjection, DuplicateWakeNotifyAbsorbed)
 {
     QsRig rig;
     rig.qs->acquire(0x1000, 0, [&](Cycle) { rig.acquired = true; });
-    rig.pcb.state = ThreadState::Sleeping; // as after FUTEX_WAIT
-    rig.recv(MsgType::WakeNotify, 10);
+    // Burn the whole spin budget so the fail parks the thread, then
+    // complete the context switch out (FUTEX_WAIT registration).
+    Cycle deadline = static_cast<Cycle>(rig.ocor.maxSpinCount)
+        * rig.os.retryInterval;
+    rig.recv(MsgType::LockFail, deadline);
+    ASSERT_EQ(rig.pcb.state, ThreadState::SleepPrep);
+    Cycle now = deadline;
+    for (Cycle end = now + rig.os.sleepPrepCycles + 1; now < end;
+         ++now)
+        rig.qs->tick(now);
+    ASSERT_EQ(rig.pcb.state, ThreadState::Sleeping);
+    ASSERT_EQ(rig.countOfType(MsgType::FutexWait), 1u);
+
+    rig.recv(MsgType::WakeNotify, now);
     ASSERT_EQ(rig.pcb.state, ThreadState::Waking);
 
-    rig.recv(MsgType::WakeNotify, 11); // duplicate
+    rig.recv(MsgType::WakeNotify, now + 1); // duplicate
     EXPECT_EQ(rig.pcb.state, ThreadState::Waking);
     EXPECT_EQ(rig.qs->duplicatesAbsorbed(), 1u);
 
-    Cycle now = 11;
     for (Cycle end = now + rig.os.wakeupCycles + 2; now < end; ++now)
         rig.qs->tick(now);
     EXPECT_TRUE(rig.acquired);

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Exploration tests (DESIGN.md §15): clean bounded configs are
+ * exhausted with zero violations, and every seeded bug yields a
+ * counterexample for the matching property.
+ */
+
+#include <gtest/gtest.h>
+
+#include "verify/explorer.hh"
+#include "verify/model.hh"
+
+using namespace ocor;
+using namespace ocor::verify;
+
+TEST(VerifyExplorer, TwoThreadsOneAcqIsCleanAndExhausted)
+{
+    VerifyConfig cfg;
+    ExploreResult res = explore(cfg);
+    EXPECT_TRUE(res.clean());
+    EXPECT_FALSE(res.capped);
+    EXPECT_GT(res.stats.states, 100u);
+    EXPECT_GT(res.stats.transitions, res.stats.states);
+}
+
+TEST(VerifyExplorer, TwoThreadsTwoAcqsCleanBothArbModes)
+{
+    for (bool strict : {false, true}) {
+        VerifyConfig cfg;
+        cfg.acquisitions = 2;
+        cfg.strictArb = strict;
+        ExploreResult res = explore(cfg);
+        EXPECT_TRUE(res.clean()) << cfg.describe() << " violated "
+                                 << propertyName(res.violated) << ": "
+                                 << res.detail;
+        EXPECT_FALSE(res.capped);
+    }
+}
+
+TEST(VerifyExplorer, ThreeThreadsSleepPathClean)
+{
+    VerifyConfig cfg;
+    cfg.threads = 3;
+    ExploreResult res = explore(cfg);
+    EXPECT_TRUE(res.clean()) << propertyName(res.violated) << ": "
+                             << res.detail;
+    // Three contenders with budget 1 must reach the futex-sleep
+    // path; the space dwarfs the 2-thread one.
+    EXPECT_GT(res.stats.states, 10000u);
+}
+
+TEST(VerifyExplorer, SymmetryReductionShrinksCleanConfigs)
+{
+    // The canonical-key space must be well under the naive one (the
+    // 3-thread config merges ~4x; exact counts are regression-pinned
+    // by the suite output, not here).
+    VerifyConfig cfg;
+    cfg.threads = 3;
+    ExploreResult res = explore(cfg);
+    EXPECT_LT(res.stats.states, 100000u);
+}
+
+TEST(VerifyExplorer, MaxStatesCapsAndReportsCapped)
+{
+    VerifyConfig cfg;
+    cfg.threads = 3;
+    ExploreResult res = explore(cfg, 500);
+    EXPECT_TRUE(res.capped);
+    EXPECT_EQ(res.stats.states, 500u);
+    EXPECT_TRUE(res.clean());
+}
+
+TEST(VerifyExplorer, ForceHoldFindsMinimalMutexCounterexample)
+{
+    VerifyConfig cfg;
+    cfg.bug = BugKind::ForceHold;
+    ExploreResult res = explore(cfg);
+    ASSERT_EQ(res.violated, Property::Mutex);
+    // BFS guarantees minimality: acquire, try, grant.
+    EXPECT_EQ(res.schedule.size(), 3u);
+}
+
+TEST(VerifyExplorer, LostWakeFindsLostWakeupCounterexample)
+{
+    VerifyConfig cfg;
+    cfg.bug = BugKind::LostWake;
+    ExploreResult res = explore(cfg);
+    ASSERT_EQ(res.violated, Property::LostWakeup);
+    EXPECT_FALSE(res.schedule.empty());
+    // The schedule must actually drop a WakeNotify somewhere.
+    bool dropped = false;
+    for (const ScheduleStep &st : res.schedule)
+        if (st.kind == StepKind::Drop &&
+            st.msg == proto::MsgKind::WakeNotify)
+            dropped = true;
+    EXPECT_TRUE(dropped);
+}
+
+TEST(VerifyExplorer, RtrRaiseFindsMonotonicityCounterexample)
+{
+    VerifyConfig cfg;
+    cfg.spinBudget = 2; // a retry is needed to re-stamp RTR
+    cfg.bug = BugKind::RtrRaise;
+    ExploreResult res = explore(cfg);
+    ASSERT_EQ(res.violated, Property::RtrMonotone);
+    EXPECT_FALSE(res.schedule.empty());
+}
+
+TEST(VerifyExplorer, ArbInvertFindsArbitrationCounterexample)
+{
+    VerifyConfig cfg;
+    cfg.spinBudget = 2; // rank spread needs differing RTR stamps
+    cfg.strictArb = true;
+    cfg.bug = BugKind::ArbInvert;
+    ExploreResult res = explore(cfg);
+    ASSERT_EQ(res.violated, Property::Arbitration);
+    EXPECT_FALSE(res.schedule.empty());
+}
+
+TEST(VerifyExplorer, SeededBugsLeaveCleanConfigsClean)
+{
+    // A seeded bug must not fire with the trigger out of reach:
+    // arb-invert only perverts the strict-arbitration choice, so a
+    // free-delivery config never exercises it.
+    VerifyConfig cfg;
+    cfg.spinBudget = 2;
+    cfg.strictArb = false;
+    cfg.bug = BugKind::ArbInvert;
+    ExploreResult res = explore(cfg);
+    EXPECT_TRUE(res.clean()) << propertyName(res.violated);
+}
